@@ -1,0 +1,210 @@
+package aida
+
+import (
+	"io"
+
+	"aida/internal/disambig"
+	"aida/internal/emerge"
+	"aida/internal/kb"
+	"aida/internal/nec"
+	"aida/internal/ner"
+	"aida/internal/relatedness"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases form the supported public surface.
+type (
+	// KB is the knowledge base: entity repository, name dictionary, link
+	// graph and keyphrase features.
+	KB = kb.KB
+	// KBBuilder assembles a KB.
+	KBBuilder = kb.Builder
+	// EntityID identifies a KB entity; NoEntity marks out-of-KB.
+	EntityID = kb.EntityID
+	// Entity is one canonical entity.
+	Entity = kb.Entity
+	// Keyphrase is a weighted salient phrase describing an entity.
+	Keyphrase = kb.Keyphrase
+	// Candidate is a disambiguation target with its features.
+	Candidate = disambig.Candidate
+	// Problem is a self-contained disambiguation instance.
+	Problem = disambig.Problem
+	// Result is the per-mention disambiguation outcome.
+	Result = disambig.Result
+	// Output is a full disambiguation result with work statistics.
+	Output = disambig.Output
+	// Method is a disambiguation algorithm.
+	Method = disambig.Method
+	// Config parameterizes the AIDA method.
+	Config = disambig.Config
+	// MentionSpan is a recognized mention with offsets.
+	MentionSpan = ner.Mention
+	// RelatednessKind selects an entity-relatedness measure.
+	RelatednessKind = relatedness.Kind
+	// Discoverer performs emerging-entity discovery (Algorithm 3).
+	Discoverer = emerge.Discoverer
+	// Harvester mines keyphrases around name occurrences.
+	Harvester = emerge.Harvester
+	// EEModelConfig tunes placeholder-model construction.
+	EEModelConfig = emerge.ModelConfig
+	// EEPipeline wires harvesting, enrichment, placeholder models and
+	// discovery into the end-to-end news workflow of Chapter 5.
+	EEPipeline = emerge.Pipeline
+	// ChunkDoc is one document of an EEPipeline harvesting chunk.
+	ChunkDoc = emerge.ChunkDoc
+	// Enricher accumulates harvested keyphrases for existing entities.
+	Enricher = emerge.Enricher
+	// TypeClassifier predicts a mention context's coarse semantic type and
+	// can pre-filter candidates (named entity classification, Sec. 2.4.4).
+	TypeClassifier = nec.Classifier
+)
+
+// TrainTypeClassifier builds a TypeClassifier from the KB's type-keyword
+// statistics.
+func TrainTypeClassifier(k *KB) *TypeClassifier { return nec.Train(k) }
+
+// NoEntity marks a mention whose entity is not in the knowledge base.
+const NoEntity = kb.NoEntity
+
+// Relatedness measure kinds (Chapter 4).
+const (
+	MW       = relatedness.KindMW
+	KWCS     = relatedness.KindKWCS
+	KPCS     = relatedness.KindKPCS
+	KORE     = relatedness.KindKORE
+	KORELSHG = relatedness.KindKORELSHG
+	KORELSHF = relatedness.KindKORELSHF
+)
+
+// NewKBBuilder returns an empty knowledge-base builder.
+func NewKBBuilder() *KBBuilder { return kb.NewBuilder() }
+
+// LoadKB reads a KB snapshot written with (*KB).Save.
+func LoadKB(r io.Reader) (*KB, error) { return kb.Load(r) }
+
+// NewAIDAMethod returns the full AIDA method (robustness tests + MW
+// coherence), the dissertation's best configuration.
+func NewAIDAMethod() Method { return disambig.NewAIDA() }
+
+// NewMethod builds an AIDA variant from an explicit configuration.
+func NewMethod(name string, cfg Config) Method { return disambig.NewAIDAVariant(name, cfg) }
+
+// Baselines returns the dissertation's full method suite (Table 3.2).
+func Baselines() []Method { return disambig.Methods() }
+
+// NewTagMe returns the TagMe-style light-weight linker baseline.
+func NewTagMe() Method { return disambig.TagMe{} }
+
+// NewWikifier returns the Illinois-Wikifier-style linker baseline.
+func NewWikifier() Method { return disambig.Wikifier{} }
+
+// Annotation is one end-to-end annotation: a recognized mention linked to
+// an entity (or NoEntity).
+type Annotation struct {
+	Mention MentionSpan
+	Entity  EntityID
+	Label   string
+	Score   float64
+}
+
+// System bundles the full pipeline: recognition, candidate generation and
+// disambiguation against one knowledge base.
+type System struct {
+	KB     *KB
+	Method Method
+	// MaxCandidates caps candidates per mention (0 = no cap).
+	MaxCandidates int
+	// ExpandSurfaces enables within-document surface expansion.
+	ExpandSurfaces bool
+
+	recognizer ner.Recognizer
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithMethod selects the disambiguation method (default: full AIDA).
+func WithMethod(m Method) Option { return func(s *System) { s.Method = m } }
+
+// WithMaxCandidates caps the candidates materialized per mention.
+func WithMaxCandidates(n int) Option { return func(s *System) { s.MaxCandidates = n } }
+
+// WithSurfaceExpansion enables the within-document coreference heuristic:
+// single-word mentions are expanded to a longer mention of the same
+// document containing them ("Carter" → "Rubin Carter").
+func WithSurfaceExpansion() Option { return func(s *System) { s.ExpandSurfaces = true } }
+
+// New creates a System over the knowledge base.
+func New(k *KB, opts ...Option) *System {
+	s := &System{KB: k, Method: disambig.NewAIDA()}
+	s.recognizer.Lexicon = k
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Recognize runs named entity recognition only.
+func (s *System) Recognize(text string) []MentionSpan {
+	return s.recognizer.Recognize(text)
+}
+
+// NewProblem builds a disambiguation problem for pre-recognized mention
+// surfaces.
+func (s *System) NewProblem(text string, surfaces []string) *Problem {
+	if s.ExpandSurfaces {
+		surfaces = disambig.ExpandSurfaces(s.KB, surfaces)
+	}
+	return disambig.NewProblem(s.KB, text, surfaces, s.MaxCandidates)
+}
+
+// Disambiguate links pre-recognized mention surfaces in the text.
+func (s *System) Disambiguate(text string, surfaces []string) *Output {
+	return s.Method.Disambiguate(s.NewProblem(text, surfaces))
+}
+
+// Annotate runs the full pipeline: recognition plus disambiguation.
+func (s *System) Annotate(text string) []Annotation {
+	mentions := s.recognizer.Recognize(text)
+	surfaces := make([]string, len(mentions))
+	for i, m := range mentions {
+		surfaces[i] = m.Text
+	}
+	out := s.Disambiguate(text, surfaces)
+	anns := make([]Annotation, len(mentions))
+	for i, m := range mentions {
+		r := out.Results[i]
+		anns[i] = Annotation{Mention: m, Entity: r.Entity, Label: r.Label, Score: r.Score}
+	}
+	return anns
+}
+
+// Relatedness computes the semantic relatedness of two KB entities under
+// the given measure.
+func (s *System) Relatedness(kind RelatednessKind, a, b EntityID) float64 {
+	return relatedness.NewMeasure(kind, s.KB).Relatedness(a, b)
+}
+
+// Confidence estimates per-mention disambiguation confidence with the CONF
+// assessor of Chapter 5 (normalized weighted degree + entity perturbation).
+func (s *System) Confidence(p *Problem, out *Output, iterations int, seed int64) []float64 {
+	return emerge.CONF(s.Method, p, out, emerge.PerturbConfig{Iterations: iterations, Seed: seed})
+}
+
+// DiscoverEmerging links mentions while explicitly modeling out-of-KB
+// entities: keyphrases for each surface are harvested from the corpus
+// documents, placeholder models are built by model difference, and
+// Algorithm 3 decides between KB entities and emerging ones. For the full
+// workflow (enrichment, windowed chunks) use an EEPipeline directly.
+func (s *System) DiscoverEmerging(text string, surfaces []string, corpus []string) *emerge.Discovery {
+	pl := &emerge.Pipeline{
+		KB:            s.KB,
+		Method:        s.Method,
+		MaxCandidates: s.MaxCandidates,
+	}
+	chunk := make([]emerge.ChunkDoc, len(corpus))
+	for i, c := range corpus {
+		chunk[i] = emerge.ChunkDoc{Text: c, Surfaces: surfaces}
+	}
+	return pl.Run(text, surfaces, chunk, nil)
+}

@@ -1,0 +1,171 @@
+package aida
+
+import (
+	"bytes"
+	"testing"
+)
+
+// demoKB builds the running example of the dissertation's Chapter 3.
+func demoKB() *KB {
+	b := NewKBBuilder()
+	jimmy := b.AddEntity("Jimmy Page", "music", "person")
+	larry := b.AddEntity("Larry Page", "tech", "person")
+	song := b.AddEntity("Kashmir (song)", "music", "work")
+	region := b.AddEntity("Kashmir", "geography", "location")
+	zep := b.AddEntity("Led Zeppelin", "music", "band")
+	plant := b.AddEntity("Robert Plant", "music", "person")
+	gibson := b.AddEntity("Gibson Les Paul", "music", "instrument")
+
+	b.AddName("Page", larry, 60)
+	b.AddName("Page", jimmy, 30)
+	b.AddName("Kashmir", region, 90)
+	b.AddName("Kashmir", song, 10)
+	b.AddName("Plant", plant, 10)
+	b.AddName("Gibson", gibson, 10)
+
+	music := []EntityID{jimmy, song, zep, plant, gibson}
+	for _, a := range music {
+		for _, c := range music {
+			if a != c {
+				b.AddLink(a, c)
+			}
+		}
+	}
+	b.AddKeyphrase(jimmy, "English rock guitarist")
+	b.AddKeyphrase(jimmy, "unusual chords")
+	b.AddKeyphrase(jimmy, "Gibson guitar")
+	b.AddKeyphrase(larry, "search engine")
+	b.AddKeyphrase(song, "hard rock")
+	b.AddKeyphrase(song, "performed live")
+	b.AddKeyphrase(region, "disputed territory")
+	b.AddKeyphrase(zep, "English rock band")
+	b.AddKeyphrase(plant, "English rock singer")
+	b.AddKeyphrase(gibson, "electric guitar")
+	return b.Build()
+}
+
+func TestSystemAnnotate(t *testing.T) {
+	sys := New(demoKB())
+	anns := sys.Annotate("They performed Kashmir, written by Page and Plant. Page played unusual chords on his Gibson.")
+	if len(anns) < 4 {
+		t.Fatalf("want at least 4 annotations, got %d", len(anns))
+	}
+	byText := map[string]string{}
+	for _, a := range anns {
+		byText[a.Mention.Text] = a.Label
+	}
+	if byText["Kashmir"] != "Kashmir (song)" {
+		t.Errorf("Kashmir → %q, want the song", byText["Kashmir"])
+	}
+	if byText["Page"] != "Jimmy Page" {
+		t.Errorf("Page → %q, want Jimmy Page", byText["Page"])
+	}
+}
+
+func TestSystemRecognize(t *testing.T) {
+	sys := New(demoKB())
+	spans := sys.Recognize("Plant sang while Page played.")
+	if len(spans) != 2 {
+		t.Fatalf("want 2 mentions, got %v", spans)
+	}
+}
+
+func TestSystemDisambiguateExplicitMentions(t *testing.T) {
+	sys := New(demoKB())
+	out := sys.Disambiguate("Kashmir is a disputed territory.", []string{"Kashmir"})
+	if out.Results[0].Label != "Kashmir" {
+		t.Errorf("geography context should pick the region, got %q", out.Results[0].Label)
+	}
+}
+
+func TestSystemWithOptions(t *testing.T) {
+	sys := New(demoKB(), WithMethod(Baselines()[5]), WithMaxCandidates(1)) // prior-only
+	out := sys.Disambiguate("Page spoke.", []string{"Page"})
+	if out.Results[0].Label != "Larry Page" {
+		t.Errorf("prior-only should pick Larry Page, got %q", out.Results[0].Label)
+	}
+	if got := len(sys.NewProblem("Page", []string{"Page"}).Mentions[0].Candidates); got != 1 {
+		t.Errorf("candidate cap ignored: %d", got)
+	}
+}
+
+func TestSystemRelatedness(t *testing.T) {
+	k := demoKB()
+	sys := New(k)
+	jimmy, _ := k.EntityByName("Jimmy Page")
+	zep, _ := k.EntityByName("Led Zeppelin")
+	region, _ := k.EntityByName("Kashmir")
+	// KPCS is excluded: it matches phrases atomically and the demo entities
+	// share no identical phrase.
+	for _, kind := range []RelatednessKind{MW, KORE, KWCS} {
+		intra := sys.Relatedness(kind, jimmy, zep)
+		inter := sys.Relatedness(kind, jimmy, region)
+		if intra <= inter {
+			t.Errorf("%v: music pair %v should beat cross-domain %v", kind, intra, inter)
+		}
+	}
+}
+
+func TestSystemConfidence(t *testing.T) {
+	sys := New(demoKB())
+	p := sys.NewProblem("Page played unusual chords.", []string{"Page"})
+	out := sys.Method.Disambiguate(p)
+	conf := sys.Confidence(p, out, 5, 1)
+	if len(conf) != 1 || conf[0] < 0 || conf[0] > 1 {
+		t.Fatalf("bad confidence: %v", conf)
+	}
+}
+
+func TestSystemDiscoverEmerging(t *testing.T) {
+	sys := New(demoKB())
+	corpus := []string{
+		"The whistleblower Snowden revealed a secret surveillance program.",
+		"Officials said Snowden leaked the intelligence files.",
+	}
+	// "Snowden" is not in the demo KB at all: trivially emerging.
+	disc := sys.DiscoverEmerging("Snowden spoke about the surveillance program.", []string{"Snowden"}, corpus)
+	if !disc.Emerging[0] {
+		t.Fatal("unknown name should be discovered as emerging")
+	}
+}
+
+func TestSystemSurfaceExpansion(t *testing.T) {
+	b := NewKBBuilder()
+	rubin := b.AddEntity("Rubin Carter", "sports", "person")
+	jimmy := b.AddEntity("Jimmy Carter", "politics", "person")
+	b.AddName("Carter", rubin, 5)
+	b.AddName("Carter", jimmy, 95)
+	b.AddKeyphrase(rubin, "middleweight boxer")
+	b.AddKeyphrase(jimmy, "united states president")
+	k := b.Build()
+
+	prior := Baselines()[5]
+	text := "Rubin Carter fought. Carter won."
+	surfaces := []string{"Rubin Carter", "Carter"}
+
+	plain := New(k, WithMethod(prior)).Disambiguate(text, surfaces)
+	expanded := New(k, WithMethod(prior), WithSurfaceExpansion()).Disambiguate(text, surfaces)
+	if plain.Results[1].Label != "Jimmy Carter" {
+		t.Skip("prior no longer misleads; premise gone")
+	}
+	if expanded.Results[1].Label != "Rubin Carter" {
+		t.Fatalf("expansion should resolve Carter, got %q", expanded.Results[1].Label)
+	}
+}
+
+func TestKBSaveLoadThroughFacade(t *testing.T) {
+	k := demoKB()
+	var buf bytes.Buffer
+	if err := k.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	k2, err := LoadKB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New(k2)
+	out := sys.Disambiguate("Page played unusual chords on his Gibson.", []string{"Page"})
+	if out.Results[0].Label != "Jimmy Page" {
+		t.Errorf("loaded KB misbehaves: %q", out.Results[0].Label)
+	}
+}

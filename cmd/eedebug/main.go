@@ -1,0 +1,151 @@
+// Command eedebug inspects the emerging-entity pipeline on the synthetic
+// news stream: it prints every false-positive and false-negative EE
+// decision of the eval day, together with the placeholder model's top
+// phrases and how they match the document — the diagnostic view used to
+// tune the pipeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+
+	"aida/internal/disambig"
+	"aida/internal/emerge"
+	"aida/internal/experiments"
+	"aida/internal/kb"
+	"aida/internal/wiki"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 42, "world seed")
+		entities = flag.Int("entities", 800, "KB entities")
+		days     = flag.Int("days", 5, "news stream days")
+		perDay   = flag.Int("perday", 8, "docs per day")
+		window   = flag.Int("window", 2, "harvest window (days)")
+		maxShow  = flag.Int("show", 4, "examples to print per error class")
+	)
+	flag.Parse()
+
+	s := experiments.NewSuite(experiments.Sizes{
+		Seed: *seed, Entities: *entities,
+		CoNLLDocs: 5, HardDocs: 5, WPDocs: 5,
+		NewsDays: *days, NewsDocsPerDay: *perDay,
+		MaxCandidates: 10, PerturbIters: 3,
+	})
+	world := s.World
+	evalDay := *days
+
+	pl := &emerge.Pipeline{
+		KB:            world.KB,
+		MaxCandidates: 10,
+		HarvestWindow: -1,
+		Model: emerge.ModelConfig{
+			KBSize: world.KB.NumEntities(), MaxKeyphrases: 25, MinCount: 2,
+		},
+	}
+	newsDocs := s.NewsDocs()
+	var chunk []emerge.ChunkDoc
+	for i := range newsDocs {
+		d := &newsDocs[i]
+		if d.Day < evalDay && d.Day >= evalDay-*window {
+			chunk = append(chunk, emerge.ChunkDoc{Text: d.Text, Surfaces: dictSurfaces(world.KB, d)})
+		}
+	}
+	enricher := pl.BuildEnricher(chunk)
+	fmt.Printf("chunk: %d docs; enricher covers %d entities\n\n", len(chunk), enricher.Size())
+
+	fp, fn, tp := 0, 0, 0
+	for i := range newsDocs {
+		d := &newsDocs[i]
+		if d.Day != evalDay {
+			continue
+		}
+		var kept []wiki.GoldMention
+		var surfaces []string
+		for _, gm := range d.Mentions {
+			if len(world.KB.Candidates(gm.Surface)) > 0 {
+				kept = append(kept, gm)
+				surfaces = append(surfaces, gm.Surface)
+			}
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		models := pl.Models(chunk, surfaces, enricher)
+		p := pl.Problem(d.Text, surfaces, enricher)
+		res := (&emerge.Discoverer{Method: defaultMethod()}).Discover(p, models)
+		for j, gm := range kept {
+			predEE := res.Emerging[j]
+			goldEE := gm.Entity == kb.NoEntity
+			switch {
+			case predEE && !goldEE:
+				fp++
+				if fp <= *maxShow {
+					fmt.Printf("FALSE POS %s: %q gold=%s\n", d.ID, gm.Surface, world.KB.Entity(gm.Entity).Name)
+					dumpModel(models[gm.Surface], p)
+				}
+			case !predEE && goldEE:
+				fn++
+				if fn <= *maxShow {
+					m, ok := models[gm.Surface]
+					fmt.Printf("FALSE NEG %s: %q truth=%s model=%v pred=%s\n",
+						d.ID, gm.Surface, gm.OOEName, ok, res.Output.Results[j].Label)
+					if ok {
+						dumpModel(m, p)
+					}
+				}
+			case predEE && goldEE:
+				tp++
+			}
+		}
+	}
+	fmt.Printf("\ntp=%d fp=%d fn=%d\n", tp, fp, fn)
+}
+
+func defaultMethod() disambig.Method {
+	return disambig.NewAIDAVariant("sim", disambig.Config{UsePrior: true, PriorTest: true})
+}
+
+func dictSurfaces(k *kb.KB, d *wiki.Document) []string {
+	var out []string
+	for _, gm := range d.Mentions {
+		if len(k.Candidates(gm.Surface)) > 0 {
+			out = append(out, gm.Surface)
+		}
+	}
+	return out
+}
+
+func dumpModel(c disambig.Candidate, p *disambig.Problem) {
+	type pm struct {
+		phrase string
+		mi     float64
+	}
+	var ps []pm
+	for _, kp := range c.Keyphrases {
+		ps = append(ps, pm{kp.Phrase, kp.MI})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].mi > ps[j].mi })
+	n := 8
+	if len(ps) < n {
+		n = len(ps)
+	}
+	doc := strings.Join(p.ContextWords, " ")
+	for _, x := range ps[:n] {
+		match := ""
+		w := kb.PhraseWords(x.phrase)
+		hits := 0
+		for _, word := range w {
+			if strings.Contains(doc, word) {
+				hits++
+			}
+		}
+		if hits > 0 {
+			match = fmt.Sprintf("  [matches %d/%d words]", hits, len(w))
+		}
+		fmt.Printf("    %.3f %q%s\n", x.mi, x.phrase, match)
+	}
+}

@@ -1,0 +1,98 @@
+// Command experiments regenerates every table and figure of the
+// dissertation's evaluation on the synthetic world and prints them in the
+// paper's layout. With -out the same report is also written to a file
+// (EXPERIMENTS.md records a snapshot of this output).
+//
+// Usage:
+//
+//	experiments -scale small
+//	experiments -scale full -out report.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"aida/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		scale = flag.String("scale", "small", "workload scale: small, medium, full")
+		out   = flag.String("out", "", "also write the report to this file")
+		seed  = flag.Int64("seed", 42, "world seed")
+	)
+	flag.Parse()
+
+	sizes := experiments.Sizes{Seed: *seed}
+	switch *scale {
+	case "small":
+		sizes.Entities = 800
+		sizes.CoNLLDocs = 30
+		sizes.HardDocs = 30
+		sizes.WPDocs = 30
+		sizes.NewsDays = 5
+		sizes.NewsDocsPerDay = 8
+	case "medium":
+		// package defaults
+	case "full":
+		sizes.Entities = 4000
+		sizes.CoNLLDocs = 150
+		sizes.HardDocs = 80
+		sizes.WPDocs = 120
+		sizes.NewsDays = 8
+		sizes.NewsDocsPerDay = 20
+		sizes.PerturbIters = 16
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	start := time.Now()
+	fmt.Fprintf(w, "AIDA reproduction — experiment report (scale=%s, seed=%d)\n\n", *scale, *seed)
+	s := experiments.NewSuite(sizes)
+	fmt.Fprintf(w, "world: %d entities, %d dictionary names (%.1fs)\n\n",
+		s.World.KB.NumEntities(), len(s.World.KB.Names()), time.Since(start).Seconds())
+
+	section := func(name string, f func() string) {
+		t0 := time.Now()
+		text := f()
+		fmt.Fprintf(w, "%s  [%.1fs]\n\n", text, time.Since(t0).Seconds())
+	}
+
+	section("T3.1", func() string { return experiments.FormatTable31(s.Table31()) })
+	section("T3.2", func() string { return experiments.FormatTable32(s.Table32()) })
+	section("T4.1", func() string { return experiments.FormatTable41(s.Table41()) })
+	section("T4.2", func() string { return experiments.FormatTable42(s.Table42()) })
+	section("T4.3", func() string { return experiments.FormatTable43(s.Table43()) })
+	section("F4.3", func() string { return experiments.FormatFigure43(s.Figure43()) })
+	section("T4.4", func() string { return experiments.FormatTable44(s.Table44()) })
+	rows51 := s.Table51()
+	section("T5.1", func() string { return experiments.FormatTable51(rows51) })
+	section("F5.3", func() string { return experiments.FormatFigure53(rows51) })
+	section("T5.2", func() string { return experiments.FormatTable52(s.Table52()) })
+	section("T5.3", func() string {
+		return experiments.FormatTable53("Table 5.3: emerging entity identification", s.Table53())
+	})
+	section("T5.4", func() string {
+		return experiments.FormatTable53("Table 5.4: NED-EE as preprocessing + AIDA", s.Table54())
+	})
+	section("F5.4", func() string { return experiments.FormatFigure54(s.Figure54()) })
+
+	fmt.Fprintf(w, "total runtime: %.1fs\n", time.Since(start).Seconds())
+}

@@ -1,0 +1,37 @@
+// Package aida is a from-scratch Go implementation of the entity
+// discovery and disambiguation system of Johannes Hoffart's dissertation
+// "Discovering and Disambiguating Named Entities in Text" (AIDA, KORE,
+// NED-EE).
+//
+// The package links ambiguous names in natural-language text to canonical
+// entities of a knowledge base, following the dissertation's three
+// contributions:
+//
+//   - AIDA (Chapter 3): robust joint disambiguation over a mention–entity
+//     coherence graph, combining an anchor-based popularity prior, a
+//     keyphrase partial-match similarity, and entity–entity semantic
+//     coherence, with self-adapting robustness tests.
+//   - KORE (Chapter 4): keyphrase-overlap entity relatedness with two-stage
+//     min-hash/LSH hashing for near-linear all-pairs computation — usable
+//     for long-tail and out-of-knowledge-base entities without link
+//     structure.
+//   - NED-EE (Chapter 5): discovery of emerging entities by explicit
+//     placeholder modeling (a global keyphrase model of the name minus the
+//     in-KB model) and perturbation-based disambiguation confidence.
+//
+// # Quick start
+//
+//	b := aida.NewKBBuilder()
+//	page := b.AddEntity("Jimmy Page", "music", "person")
+//	b.AddName("Page", page, 30)
+//	b.AddKeyphrase(page, "English rock guitarist")
+//	// ... more entities, names, links, keyphrases ...
+//	sys := aida.New(b.Build())
+//	for _, a := range sys.Annotate("Page played his Gibson.") {
+//		fmt.Println(a.Mention.Text, "→", a.Label)
+//	}
+//
+// See the examples directory for end-to-end programs: a quickstart, an
+// emerging-entity news pipeline, a relatedness comparison, and the
+// strings+things+cats entity search application.
+package aida

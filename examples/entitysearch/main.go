@@ -1,0 +1,83 @@
+// Entitysearch: the "strings, things, and cats" application of Chapter 6.
+// A corpus is disambiguated with AIDA, indexed with words + entities +
+// types, and queried across all three dimensions; a news analytics pass
+// reports trending entities.
+package main
+
+import (
+	"fmt"
+
+	"aida"
+	"aida/internal/analytics"
+	"aida/internal/search"
+	"aida/internal/wiki"
+)
+
+func main() {
+	world := wiki.Generate(wiki.Config{Seed: 31, Entities: 600})
+	sys := aida.New(world.KB, aida.WithMaxCandidates(10))
+
+	stream := world.NewsStream(wiki.DefaultNewsSpec(5, 10, 7))
+	ix := search.NewIndex(world.KB)
+	stats := analytics.New()
+
+	// Disambiguate and index the stream.
+	for _, doc := range stream {
+		out := sys.Disambiguate(doc.Text, doc.Surfaces())
+		var anns []search.Annotation
+		var ents []aida.EntityID
+		for _, r := range out.Results {
+			if r.Entity == aida.NoEntity {
+				continue
+			}
+			anns = append(anns, search.Annotation{Entity: r.Entity, Surface: r.Surface})
+			ents = append(ents, r.Entity)
+		}
+		ix.AddDocument(doc.ID, doc.Text, anns)
+		stats.AddDoc(doc.Day, ents)
+	}
+	fmt.Printf("indexed %d documents over %d entities\n\n", ix.NumDocs(), world.KB.NumEntities())
+
+	// Thing query: the most mentioned entity.
+	top := stats.TopEntities(1, 5, 3)
+	if len(top) > 0 {
+		e := top[0].Entity
+		fmt.Printf("entity query %q → top documents:\n", world.KB.Entity(e).Name)
+		for _, hit := range ix.Search(search.Query{Entities: []aida.EntityID{e}}, 3) {
+			fmt.Printf("  %-14s score %.3f\n", hit.DocID, hit.Score)
+		}
+		fmt.Println()
+
+		// Auto-completion over the entity names.
+		prefix := world.KB.Entity(e).Name[:1]
+		comp := ix.Complete(prefix, 3)
+		fmt.Printf("completion %q →", prefix)
+		for _, id := range comp {
+			fmt.Printf(" %q", world.KB.Entity(id).Name)
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+
+	// Cat query: all persons.
+	hits := ix.Search(search.Query{Types: []string{"person"}}, 3)
+	fmt.Println("type query \"person\" → top documents:")
+	for _, hit := range hits {
+		fmt.Printf("  %-14s score %.3f\n", hit.DocID, hit.Score)
+	}
+	fmt.Println()
+
+	// Analytics: trending entities on the last day.
+	fmt.Println("trending on day 5 (burst factor):")
+	for _, tr := range stats.Trending(5, 3, 5) {
+		fmt.Printf("  %-34s %.2f\n", world.KB.Entity(tr.Entity).Name, tr.Score)
+	}
+
+	// Co-occurrence for the top entity.
+	if len(top) > 0 {
+		fmt.Printf("\nentities co-occurring with %q:\n", world.KB.Entity(top[0].Entity).Name)
+		for _, co := range stats.CoOccurring(top[0].Entity, 5) {
+			fmt.Printf("  %-34s %d docs\n", world.KB.Entity(co.Entity).Name, co.Count)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Relatedness: compare the link-based Milne-Witten measure with the
+// keyphrase-based KORE measure (Chapter 4) on a synthetic world, showing
+// KORE's advantage on link-poor (long-tail) entities.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"aida"
+	"aida/internal/wiki"
+)
+
+func main() {
+	world := wiki.Generate(wiki.Config{Seed: 21, Entities: 800})
+	sys := aida.New(world.KB)
+
+	// Seed: the most popular music entity; candidates: its domain peers.
+	seeds := world.PopularEntities("music", 1)
+	if len(seeds) == 0 {
+		fmt.Println("no music entities in world")
+		return
+	}
+	seed := seeds[0]
+	cands := world.PopularEntities("music", 12)[1:]
+	cands = append(cands, world.PopularEntities("geography", 4)...)
+
+	fmt.Printf("seed entity: %s\n\n", world.KB.Entity(seed).Name)
+	type row struct {
+		name     string
+		links    int
+		mw, kore float64
+		truth    float64
+	}
+	var rows []row
+	for _, c := range cands {
+		rows = append(rows, row{
+			name:  world.KB.Entity(c).Name,
+			links: len(world.KB.Entity(c).InLinks),
+			mw:    sys.Relatedness(aida.MW, seed, c),
+			kore:  sys.Relatedness(aida.KORE, seed, c),
+			truth: world.TrueRelatedness(seed, c),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].truth > rows[j].truth })
+	fmt.Printf("%-34s %7s %8s %8s %8s\n", "candidate", "inlinks", "truth", "MW", "KORE")
+	for _, r := range rows {
+		fmt.Printf("%-34s %7d %8.3f %8.3f %8.3f\n", r.name, r.links, r.truth, r.mw, r.kore)
+	}
+
+	fmt.Println("\nNote how MW collapses to 0 for link-poor candidates while")
+	fmt.Println("KORE still separates related from unrelated entities.")
+}

@@ -1,0 +1,172 @@
+package aida
+
+// End-to-end integration tests over the synthetic world: the full pipeline
+// from corpus generation through recognition, disambiguation, emerging-
+// entity discovery, and the two Chapter 6 applications.
+
+import (
+	"testing"
+
+	"aida/internal/analytics"
+	"aida/internal/eval"
+	"aida/internal/search"
+	"aida/internal/wiki"
+)
+
+func integrationWorld(t *testing.T) *wiki.World {
+	t.Helper()
+	return wiki.Generate(wiki.Config{Seed: 77, Entities: 500})
+}
+
+func TestIntegrationAIDABeatsPrior(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	world := integrationWorld(t)
+	docs := world.GenerateCorpus(wiki.CoNLLSpec(12, 5))
+	run := func(m Method) float64 {
+		sys := New(world.KB, WithMethod(m), WithMaxCandidates(10))
+		var labels [][]eval.Label
+		for i := range docs {
+			out := sys.Disambiguate(docs[i].Text, docs[i].Surfaces())
+			row := make([]eval.Label, len(docs[i].Mentions))
+			for j, gm := range docs[i].Mentions {
+				row[j] = eval.Label{Gold: gm.Entity, Pred: out.Results[j].Entity}
+			}
+			labels = append(labels, row)
+		}
+		return eval.MicroAccuracy(labels, eval.InKBOnly)
+	}
+	aidaAcc := run(NewAIDAMethod())
+	priorAcc := run(Baselines()[5]) // prior-only
+	if aidaAcc <= priorAcc {
+		t.Fatalf("AIDA (%.3f) should beat the prior baseline (%.3f)", aidaAcc, priorAcc)
+	}
+	if aidaAcc < 0.6 {
+		t.Fatalf("AIDA accuracy implausibly low: %.3f", aidaAcc)
+	}
+}
+
+func TestIntegrationRecognitionFindsGoldSurfaces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	world := integrationWorld(t)
+	docs := world.GenerateCorpus(wiki.CoNLLSpec(5, 9))
+	sys := New(world.KB)
+	found, total := 0, 0
+	for i := range docs {
+		spans := sys.Recognize(docs[i].Text)
+		surfaces := map[string]bool{}
+		for _, sp := range spans {
+			surfaces[sp.Text] = true
+		}
+		for _, gm := range docs[i].Mentions {
+			total++
+			if surfaces[gm.Surface] {
+				found++
+			}
+		}
+	}
+	if recall := float64(found) / float64(total); recall < 0.7 {
+		t.Fatalf("NER surface recall too low: %.3f", recall)
+	}
+}
+
+func TestIntegrationEEPipelineOverStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	world := integrationWorld(t)
+	stream := world.NewsStream(wiki.DefaultNewsSpec(4, 8, 3))
+	pl := &EEPipeline{
+		KB:            world.KB,
+		MaxCandidates: 10,
+		HarvestWindow: -1,
+		Model:         EEModelConfig{MaxKeyphrases: 25, MinCount: 2},
+	}
+	var chunk []ChunkDoc
+	var today []wiki.Document
+	for _, d := range stream {
+		if d.Day < 4 {
+			var surfaces []string
+			for _, gm := range d.Mentions {
+				if len(world.KB.Candidates(gm.Surface)) > 0 {
+					surfaces = append(surfaces, gm.Surface)
+				}
+			}
+			chunk = append(chunk, ChunkDoc{Text: d.Text, Surfaces: surfaces})
+		} else {
+			today = append(today, d)
+		}
+	}
+	enricher := pl.BuildEnricher(chunk)
+	var labels [][]eval.Label
+	for i := range today {
+		d := &today[i]
+		var surfaces []string
+		var gold []wiki.GoldMention
+		for _, gm := range d.Mentions {
+			if len(world.KB.Candidates(gm.Surface)) > 0 {
+				surfaces = append(surfaces, gm.Surface)
+				gold = append(gold, gm)
+			}
+		}
+		if len(surfaces) == 0 {
+			continue
+		}
+		disc := pl.Run(d.Text, surfaces, chunk, enricher)
+		row := make([]eval.Label, len(gold))
+		for j, gm := range gold {
+			row[j] = eval.Label{Gold: gm.Entity, Pred: disc.Output.Results[j].Entity}
+		}
+		labels = append(labels, row)
+	}
+	q := eval.EEQuality(labels)
+	acc := eval.MicroAccuracy(labels, eval.WithEE)
+	if acc < 0.4 {
+		t.Fatalf("stream accuracy implausibly low: %.3f", acc)
+	}
+	if q.Precision == 0 && q.Recall == 0 {
+		t.Fatal("EE pipeline discovered nothing at all")
+	}
+}
+
+func TestIntegrationSearchAndAnalytics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	world := integrationWorld(t)
+	stream := world.NewsStream(wiki.DefaultNewsSpec(3, 6, 11))
+	sys := New(world.KB, WithMaxCandidates(8))
+	ix := search.NewIndex(world.KB)
+	stats := analytics.New()
+	for _, d := range stream {
+		out := sys.Disambiguate(d.Text, d.Surfaces())
+		var anns []search.Annotation
+		var ents []EntityID
+		for _, r := range out.Results {
+			if r.Entity == NoEntity {
+				continue
+			}
+			anns = append(anns, search.Annotation{Entity: r.Entity, Surface: r.Surface})
+			ents = append(ents, r.Entity)
+		}
+		ix.AddDocument(d.ID, d.Text, anns)
+		stats.AddDoc(d.Day, ents)
+	}
+	if ix.NumDocs() != len(stream) {
+		t.Fatalf("indexed %d of %d docs", ix.NumDocs(), len(stream))
+	}
+	top := stats.TopEntities(1, 3, 1)
+	if len(top) == 0 {
+		t.Fatal("no entities tracked")
+	}
+	hits := ix.Search(search.Query{Entities: []EntityID{top[0].Entity}}, 5)
+	if len(hits) == 0 {
+		t.Fatal("entity query found nothing for the most frequent entity")
+	}
+	if trend := stats.Trending(3, 2, 5); len(trend) == 0 {
+		t.Fatal("no trending entities on a day with documents")
+	}
+}

@@ -1,0 +1,332 @@
+package disambig
+
+import (
+	"fmt"
+
+	"aida/internal/graph"
+	"aida/internal/kb"
+	"aida/internal/relatedness"
+)
+
+// Config parameterizes the AIDA framework (Sec. 3.6.1 defaults).
+type Config struct {
+	// UsePrior enables the popularity prior in mention–entity weights.
+	UsePrior bool
+	// PriorTest applies the prior robustness test (Sec. 3.5.1): the prior
+	// is only combined with similarity when the best candidate's prior is
+	// at least Rho; otherwise similarity alone is used.
+	PriorTest bool
+	Rho       float64 // prior test threshold ρ (default 0.9)
+
+	// UseCoherence enables joint inference over the coherence graph.
+	UseCoherence bool
+	// CoherenceTest applies the coherence robustness test (Sec. 3.5.2):
+	// mentions whose prior and similarity distributions agree (L1 < λ)
+	// are fixed to their local best before running the graph algorithm.
+	CoherenceTest bool
+	Lambda        float64 // coherence test threshold λ (default 0.9)
+
+	// Measure selects the coherence relatedness measure (default MW).
+	Measure relatedness.Kind
+
+	// Feature combination weights (Sec. 3.6.1): when the prior test
+	// passes, the mention–entity weight is PriorWeight·prior +
+	// (1−PriorWeight)·sim; edges are then balanced with Gamma:
+	// entity–entity · Gamma, mention–entity · (1−Gamma).
+	PriorWeight float64 // default 0.566
+	Gamma       float64 // default 0.40
+
+	Graph graph.Options
+}
+
+func (c Config) rho() float64 {
+	if c.Rho <= 0 {
+		return 0.9
+	}
+	return c.Rho
+}
+
+func (c Config) lambda() float64 {
+	if c.Lambda <= 0 {
+		return 0.9
+	}
+	return c.Lambda
+}
+
+func (c Config) priorWeight() float64 {
+	if c.PriorWeight <= 0 {
+		return 0.566
+	}
+	return c.PriorWeight
+}
+
+func (c Config) gamma() float64 {
+	if c.Gamma <= 0 {
+		return 0.40
+	}
+	return c.Gamma
+}
+
+// AIDA is the dissertation's disambiguation method. Depending on the
+// configuration it covers the sim-k, prior·sim-k, r-prior·sim-k, +coh and
+// +r-coh variants of Table 3.2.
+type AIDA struct {
+	Config Config
+	name   string
+}
+
+// NewAIDA returns the full method with robustness tests and MW coherence —
+// the "r-prior sim-k r-coh" configuration that wins Table 3.2.
+func NewAIDA() *AIDA {
+	return &AIDA{Config: Config{
+		UsePrior: true, PriorTest: true,
+		UseCoherence: true, CoherenceTest: true,
+		Measure: relatedness.KindMW,
+	}}
+}
+
+// NewAIDAVariant builds a named configuration.
+func NewAIDAVariant(name string, cfg Config) *AIDA {
+	return &AIDA{Config: cfg, name: name}
+}
+
+// Name implements Method.
+func (a *AIDA) Name() string {
+	if a.name != "" {
+		return a.name
+	}
+	n := "sim-k"
+	if a.Config.UsePrior {
+		if a.Config.PriorTest {
+			n = "r-prior " + n
+		} else {
+			n = "prior " + n
+		}
+	}
+	if a.Config.UseCoherence {
+		if a.Config.CoherenceTest {
+			n += " r-coh"
+		} else {
+			n += " coh"
+		}
+		n += fmt.Sprintf(" (%s)", a.Config.Measure)
+	}
+	return n
+}
+
+// localWeights computes the mention–entity edge weights with the prior
+// robustness test applied: w = pw·prior + (1−pw)·sim when the mention's
+// best prior passes ρ (or the test is disabled), else w = sim.
+// The returned sims are per-mention sum-normalized similarity distributions.
+func (a *AIDA) localWeights(p *Problem) (weights, sims [][]float64) {
+	raw := simScores(p)
+	weights = make([][]float64, len(p.Mentions))
+	sims = make([][]float64, len(p.Mentions))
+	pw := a.Config.priorWeight()
+	for i := range p.Mentions {
+		m := &p.Mentions[i]
+		sim := normalizeSum(raw[i])
+		sims[i] = sim
+		w := make([]float64, len(m.Candidates))
+		usePrior := a.Config.UsePrior
+		if usePrior && a.Config.PriorTest {
+			maxPrior := 0.0
+			for _, c := range m.Candidates {
+				if c.Prior > maxPrior {
+					maxPrior = c.Prior
+				}
+			}
+			usePrior = maxPrior >= a.Config.rho()
+		}
+		for j := range m.Candidates {
+			// Placeholder (out-of-KB) candidates have no meaningful
+			// prior; their weight is pure similarity evidence, balanced
+			// only by the γ_EE edge scale (Sec. 5.6).
+			if usePrior && m.Candidates[j].Entity != kb.NoEntity {
+				w[j] = pw*m.Candidates[j].Prior + (1-pw)*sim[j]
+			} else {
+				w[j] = sim[j]
+			}
+			w[j] *= m.Candidates[j].edgeScale()
+		}
+		weights[i] = w
+	}
+	return weights, sims
+}
+
+// Disambiguate implements Method.
+func (a *AIDA) Disambiguate(p *Problem) *Output {
+	weights, sims := a.localWeights(p)
+	out := &Output{Results: make([]Result, len(p.Mentions))}
+
+	if !a.Config.UseCoherence {
+		for i := range p.Mentions {
+			m := &p.Mentions[i]
+			best := argmax(weights[i])
+			score := 0.0
+			if best >= 0 {
+				score = weights[i][best]
+			}
+			out.Results[i] = pickResult(i, m, best, score, weights[i])
+		}
+		return out
+	}
+
+	// Coherence robustness test: fix mentions whose prior and similarity
+	// distributions agree.
+	fixed := make([]int, len(p.Mentions)) // candidate index or -1
+	for i := range fixed {
+		fixed[i] = -1
+	}
+	if a.Config.CoherenceTest {
+		for i := range p.Mentions {
+			m := &p.Mentions[i]
+			if len(m.Candidates) <= 1 {
+				continue
+			}
+			if l1Distance(priorVector(m), sims[i]) < a.Config.lambda() {
+				fixed[i] = argmax(weights[i])
+			}
+		}
+	}
+
+	scorer := newCohScorer(a.Config.Measure, p)
+	g, candOf := a.buildGraph(p, weights, fixed, scorer)
+	res := graph.Solve(g, a.Config.Graph)
+
+	out.Stats.Comparisons = scorer.comparisons
+	out.Stats.GraphEntities = g.Entities()
+
+	gamma := a.Config.gamma()
+	for i := range p.Mentions {
+		m := &p.Mentions[i]
+		chosen := -1
+		if res.Assignment[i] >= 0 {
+			chosen = candOf[i][res.Assignment[i]]
+		}
+		// Per-candidate final scores: the weighted degree the candidate
+		// would have in the solution (Sec. 5.4.1 "weighted-degree" score).
+		scores := make([]float64, len(m.Candidates))
+		for j := range m.Candidates {
+			s := (1 - gamma) * weights[i][j]
+			for i2 := range p.Mentions {
+				if i2 == i || res.Assignment[i2] < 0 {
+					continue
+				}
+				other := &p.Mentions[i2].Candidates[candOf[i2][res.Assignment[i2]]]
+				s += gamma * scorer.score(&m.Candidates[j], other)
+			}
+			scores[j] = s
+		}
+		score := 0.0
+		if chosen >= 0 {
+			score = scores[chosen]
+		}
+		out.Results[i] = pickResult(i, m, chosen, score, scores)
+	}
+	return out
+}
+
+// buildGraph constructs the weighted mention–entity graph (Sec. 3.4.1):
+// mention–entity weights scaled by (1−γ), entity–entity coherence weights
+// rescaled so their average matches the mention-edge average and then
+// scaled by γ. It returns the graph and, per mention, the mapping from
+// graph entity index back to candidate index.
+func (a *AIDA) buildGraph(p *Problem, weights [][]float64, fixed []int, scorer *cohScorer) (*graph.Graph, [][]int) {
+	// Graph entity nodes = distinct candidates (shared across mentions).
+	nodeOf := make(map[string]int)
+	var nodeCand []*Candidate
+	candOf := make([][]int, len(p.Mentions)) // graph node → candidate index per mention
+	type meEdge struct{ m, node, cand int }
+	var meEdges []meEdge
+	for i := range p.Mentions {
+		m := &p.Mentions[i]
+		for j := range m.Candidates {
+			if fixed[i] >= 0 && j != fixed[i] {
+				continue
+			}
+			c := &m.Candidates[j]
+			node, ok := nodeOf[c.Label]
+			if !ok {
+				node = len(nodeCand)
+				nodeOf[c.Label] = node
+				nodeCand = append(nodeCand, c)
+			}
+			meEdges = append(meEdges, meEdge{m: i, node: node, cand: j})
+		}
+	}
+	for i := range candOf {
+		candOf[i] = make([]int, len(nodeCand))
+		for j := range candOf[i] {
+			candOf[i][j] = -1
+		}
+	}
+
+	g := graph.New(len(p.Mentions), len(nodeCand))
+	var meSum float64
+	var meCount int
+	for _, e := range meEdges {
+		w := weights[e.m][e.cand]
+		meSum += w
+		meCount++
+		candOf[e.m][e.node] = e.cand
+	}
+	meAvg := 0.0
+	if meCount > 0 {
+		meAvg = meSum / float64(meCount)
+	}
+
+	// Coherence edges between candidates of different mentions only
+	// (candidates sharing a single mention are mutually exclusive).
+	edgesByMention := make([][]meEdge, len(p.Mentions))
+	for _, e := range meEdges {
+		edgesByMention[e.m] = append(edgesByMention[e.m], e)
+	}
+	pairNeeded := make(map[[2]int]bool)
+	for i := 0; i < len(p.Mentions); i++ {
+		for j := i + 1; j < len(p.Mentions); j++ {
+			for _, ei := range edgesByMention[i] {
+				for _, ej := range edgesByMention[j] {
+					if ei.node == ej.node {
+						continue
+					}
+					k := [2]int{ei.node, ej.node}
+					if k[0] > k[1] {
+						k[0], k[1] = k[1], k[0]
+					}
+					pairNeeded[k] = true
+				}
+			}
+		}
+	}
+	var eeSum float64
+	var eeCount int
+	type eeEdge struct {
+		a, b int
+		w    float64
+	}
+	eeEdges := make([]eeEdge, 0, len(pairNeeded))
+	for k := range pairNeeded {
+		w := scorer.score(nodeCand[k[0]], nodeCand[k[1]])
+		if w <= 0 {
+			continue
+		}
+		eeEdges = append(eeEdges, eeEdge{a: k[0], b: k[1], w: w})
+		eeSum += w
+		eeCount++
+	}
+	// Rescale coherence so its average matches the mention-edge average,
+	// then apply the γ balance.
+	scale := 1.0
+	if eeCount > 0 && eeSum > 0 && meAvg > 0 {
+		scale = meAvg / (eeSum / float64(eeCount))
+	}
+	gamma := a.Config.gamma()
+	for _, e := range eeEdges {
+		g.AddEntityEdge(e.a, e.b, gamma*scale*e.w)
+	}
+	for _, e := range meEdges {
+		g.AddMentionEdge(e.m, e.node, (1-gamma)*weights[e.m][e.cand])
+	}
+	return g, candOf
+}

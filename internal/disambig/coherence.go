@@ -1,0 +1,128 @@
+package disambig
+
+import (
+	"aida/internal/kb"
+	"aida/internal/relatedness"
+)
+
+// cohScorer computes pairwise coherence between the distinct candidates of
+// a problem under a relatedness kind. For the LSH variants it applies the
+// two-stage hashing filter of Sec. 4.4.2 so that only pairs sharing a
+// stage-two bucket are ever scored; all other pairs have coherence 0.
+//
+// Coherence works on Candidate features (keyphrases, in-links) rather than
+// KB ids so that emerging-entity placeholders participate transparently.
+type cohScorer struct {
+	kind  relatedness.Kind
+	cands []*Candidate // distinct candidates, indexed by cid
+	byKey map[string]int
+	n     int // |E| for MW
+
+	profiles []*relatedness.Profile
+	weight   relatedness.Weighter
+
+	allowed map[[2]int]bool // LSH-filtered pairs; nil = all allowed
+	cache   map[[2]int]float64
+	// comparisons counts exact pairwise relatedness computations.
+	comparisons int
+}
+
+// newCohScorer registers all distinct candidates of the problem.
+func newCohScorer(kind relatedness.Kind, p *Problem) *cohScorer {
+	s := &cohScorer{
+		kind:  kind,
+		byKey: make(map[string]int),
+		n:     p.TotalEntities,
+		cache: make(map[[2]int]float64),
+		weight: func(w string) float64 {
+			return p.wordIDF(w)
+		},
+	}
+	for i := range p.Mentions {
+		m := &p.Mentions[i]
+		for j := range m.Candidates {
+			s.cid(&m.Candidates[j])
+		}
+	}
+	if kind.IsLSH() {
+		s.buildFilter()
+	}
+	return s
+}
+
+// cid interns a candidate and returns its dense id.
+func (s *cohScorer) cid(c *Candidate) int {
+	if id, ok := s.byKey[c.Label]; ok {
+		return id
+	}
+	id := len(s.cands)
+	s.byKey[c.Label] = id
+	s.cands = append(s.cands, c)
+	s.profiles = append(s.profiles, nil)
+	return id
+}
+
+func (s *cohScorer) profile(id int) *relatedness.Profile {
+	if s.profiles[id] == nil {
+		s.profiles[id] = relatedness.NewProfile(s.cands[id].Keyphrases, s.weight)
+	}
+	return s.profiles[id]
+}
+
+// buildFilter runs the two-stage hashing over all registered candidates.
+func (s *cohScorer) buildFilter() {
+	variant := relatedness.KindKORELSHG
+	if s.kind == relatedness.KindKORELSHF {
+		variant = relatedness.KindKORELSHF
+	}
+	sets := make([][]kb.Keyphrase, len(s.cands))
+	for i, c := range s.cands {
+		sets[i] = c.Keyphrases
+	}
+	f := newStandaloneFilter(variant)
+	s.allowed = make(map[[2]int]bool)
+	for _, pr := range f.PairsOfSets(sets) {
+		s.allowed[pr] = true
+	}
+}
+
+// newStandaloneFilter builds an LSH filter that is not bound to a KB (the
+// candidates carry their own keyphrases).
+func newStandaloneFilter(kind relatedness.Kind) *relatedness.LSHFilter {
+	return relatedness.NewLSHFilter(nil, kind)
+}
+
+// score returns the coherence between two candidates, caching pair values
+// and honoring the LSH filter.
+func (s *cohScorer) score(a, b *Candidate) float64 {
+	ia, ib := s.cid(a), s.cid(b)
+	if ia == ib {
+		return 0 // mutually exclusive candidates of the same entity
+	}
+	key := [2]int{ia, ib}
+	if ia > ib {
+		key = [2]int{ib, ia}
+	}
+	if v, ok := s.cache[key]; ok {
+		return v
+	}
+	if s.allowed != nil && !s.allowed[key] {
+		s.cache[key] = 0
+		return 0
+	}
+	s.comparisons++
+	var v float64
+	switch s.kind {
+	case relatedness.KindMW:
+		v = relatedness.MW(a.InLinks, b.InLinks, s.n)
+	case relatedness.KindKWCS:
+		v = relatedness.KeywordCosine(a.Keyphrases, b.Keyphrases, s.weight)
+	case relatedness.KindKPCS:
+		v = relatedness.KeyphraseCosine(a.Keyphrases, b.Keyphrases)
+	default:
+		v = relatedness.KOREProfiles(s.profile(ia), s.profile(ib))
+	}
+	v *= a.edgeScale() * b.edgeScale()
+	s.cache[key] = v
+	return v
+}

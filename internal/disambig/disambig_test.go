@@ -1,0 +1,345 @@
+package disambig
+
+import (
+	"testing"
+
+	"aida/internal/kb"
+	"aida/internal/relatedness"
+)
+
+// buildTestKB constructs the dissertation's running example (Sec. 3.1):
+// "They performed Kashmir, written by Page and Plant. Page played unusual
+// chords on his Gibson." — a coherent music cluster against popular
+// geographic confusers.
+func buildTestKB() *kb.KB {
+	b := kb.NewBuilder()
+	jimmy := b.AddEntity("Jimmy Page", "music", "person", "musician")
+	larry := b.AddEntity("Larry Page", "tech", "person")
+	song := b.AddEntity("Kashmir (song)", "music", "song")
+	region := b.AddEntity("Kashmir", "geography", "region")
+	zep := b.AddEntity("Led Zeppelin", "music", "band")
+	plant := b.AddEntity("Robert Plant", "music", "person", "musician")
+	lespaul := b.AddEntity("Gibson Les Paul", "music", "instrument")
+	gibsonMO := b.AddEntity("Gibson, Missouri", "geography", "town")
+	pageAZ := b.AddEntity("Page, Arizona", "geography", "town")
+	himalaya := b.AddEntity("Himalayas", "geography", "mountains")
+
+	b.AddName("Page", larry, 60)
+	b.AddName("Page", jimmy, 30)
+	b.AddName("Page", pageAZ, 10)
+	b.AddName("Kashmir", region, 90)
+	b.AddName("Kashmir", song, 10)
+	b.AddName("Plant", plant, 10)
+	b.AddName("Gibson", lespaul, 50)
+	b.AddName("Gibson", gibsonMO, 50)
+
+	// Dense links inside the music cluster give it MW coherence.
+	music := []kb.EntityID{jimmy, song, zep, plant, lespaul}
+	for _, a := range music {
+		for _, b2 := range music {
+			if a != b2 {
+				b.AddLink(a, b2)
+			}
+		}
+	}
+	// Sparse geography links.
+	b.AddLink(region, himalaya)
+	b.AddLink(himalaya, region)
+
+	b.AddKeyphrase(jimmy, "English rock guitarist")
+	b.AddKeyphrase(jimmy, "Led Zeppelin")
+	b.AddKeyphrase(jimmy, "unusual chords")
+	b.AddKeyphrase(jimmy, "Gibson guitar")
+	b.AddKeyphrase(larry, "search engine")
+	b.AddKeyphrase(larry, "Stanford University")
+	b.AddKeyphrase(larry, "internet company")
+	b.AddKeyphrase(song, "Led Zeppelin")
+	b.AddKeyphrase(song, "performed live")
+	b.AddKeyphrase(song, "hard rock")
+	b.AddKeyphrase(region, "Himalaya mountains")
+	b.AddKeyphrase(region, "disputed territory")
+	b.AddKeyphrase(region, "India Pakistan border")
+	b.AddKeyphrase(zep, "English rock band")
+	b.AddKeyphrase(zep, "hard rock")
+	b.AddKeyphrase(plant, "English rock singer")
+	b.AddKeyphrase(plant, "Led Zeppelin")
+	b.AddKeyphrase(lespaul, "electric guitar")
+	b.AddKeyphrase(lespaul, "Gibson guitar")
+	b.AddKeyphrase(lespaul, "rock guitarist")
+	b.AddKeyphrase(gibsonMO, "Missouri town")
+	b.AddKeyphrase(gibsonMO, "rural community")
+	b.AddKeyphrase(pageAZ, "Arizona city")
+	b.AddKeyphrase(pageAZ, "Colorado river")
+	b.AddKeyphrase(himalaya, "Himalaya mountains")
+	return b.Build()
+}
+
+const exampleText = "They performed Kashmir, written by Page and Plant. Page played unusual chords on his Gibson."
+
+var exampleMentions = []string{"Kashmir", "Page", "Plant", "Gibson"}
+
+func exampleProblem(k *kb.KB) *Problem {
+	return NewProblem(k, exampleText, exampleMentions, 0)
+}
+
+func labelOf(t *testing.T, k *kb.KB, out *Output, mention int) string {
+	t.Helper()
+	r := out.Results[mention]
+	if r.CandidateIndex < 0 {
+		return ""
+	}
+	return r.Label
+}
+
+func TestPriorOnlyPicksPopular(t *testing.T) {
+	k := buildTestKB()
+	out := PriorOnly{}.Disambiguate(exampleProblem(k))
+	if got := labelOf(t, k, out, 0); got != "Kashmir" {
+		t.Errorf("prior should pick the region for Kashmir, got %q", got)
+	}
+	if got := labelOf(t, k, out, 1); got != "Larry Page" {
+		t.Errorf("prior should pick Larry Page, got %q", got)
+	}
+}
+
+func TestSimOnlyUsesContext(t *testing.T) {
+	k := buildTestKB()
+	method := NewAIDAVariant("sim-k", Config{})
+	out := method.Disambiguate(exampleProblem(k))
+	if got := labelOf(t, k, out, 1); got != "Jimmy Page" {
+		t.Errorf("sim-k should pick Jimmy Page from context, got %q", got)
+	}
+	if got := labelOf(t, k, out, 3); got != "Gibson Les Paul" {
+		t.Errorf("sim-k should pick the guitar, got %q", got)
+	}
+}
+
+func TestAIDAFullResolvesCoherentCluster(t *testing.T) {
+	k := buildTestKB()
+	out := NewAIDA().Disambiguate(exampleProblem(k))
+	want := []string{"Kashmir (song)", "Jimmy Page", "Robert Plant", "Gibson Les Paul"}
+	for i, w := range want {
+		if got := labelOf(t, k, out, i); got != w {
+			t.Errorf("mention %d (%s): got %q want %q", i, exampleMentions[i], got, w)
+		}
+	}
+	if out.Stats.Comparisons == 0 {
+		t.Error("coherence method should perform relatedness comparisons")
+	}
+	if out.Stats.GraphEntities == 0 {
+		t.Error("graph should contain entities")
+	}
+}
+
+func TestAIDAPriorTestKeepsStrongPrior(t *testing.T) {
+	k := buildTestKB()
+	// A context-free doc: with the prior robustness test, Kashmir's 90%
+	// prior passes ρ and the region must win in the absence of any other
+	// evidence.
+	p := NewProblem(k, "Kashmir was mentioned.", []string{"Kashmir"}, 0)
+	out := NewAIDAVariant("r-prior sim-k", Config{UsePrior: true, PriorTest: true}).Disambiguate(p)
+	if got := labelOf(t, k, out, 0); got != "Kashmir" {
+		t.Errorf("strong prior should win without context, got %q", got)
+	}
+}
+
+func TestAIDAPriorDisabledBelowThreshold(t *testing.T) {
+	k := buildTestKB()
+	// "Page" has max prior 0.6 < ρ: the prior must be disregarded and
+	// context-poor input falls back to the first candidate by similarity.
+	p := NewProblem(k, "Page spoke about the search engine at Stanford University.", []string{"Page"}, 0)
+	out := NewAIDAVariant("r-prior sim-k", Config{UsePrior: true, PriorTest: true}).Disambiguate(p)
+	if got := labelOf(t, k, out, 0); got != "Larry Page" {
+		t.Errorf("similarity should pick Larry Page in tech context, got %q", got)
+	}
+}
+
+func TestAIDAEmptyCandidates(t *testing.T) {
+	k := buildTestKB()
+	p := NewProblem(k, "Snowden revealed the program.", []string{"Snowden"}, 0)
+	out := NewAIDA().Disambiguate(p)
+	r := out.Results[0]
+	if r.CandidateIndex != -1 || r.Entity != kb.NoEntity {
+		t.Errorf("unknown mention must map to OOE, got %+v", r)
+	}
+}
+
+func TestAIDAScoresAlignWithCandidates(t *testing.T) {
+	k := buildTestKB()
+	p := exampleProblem(k)
+	out := NewAIDA().Disambiguate(p)
+	for i, r := range out.Results {
+		if len(r.Scores) != len(p.Mentions[i].Candidates) {
+			t.Fatalf("mention %d: %d scores for %d candidates", i, len(r.Scores), len(p.Mentions[i].Candidates))
+		}
+	}
+}
+
+func TestAIDADeterministic(t *testing.T) {
+	k := buildTestKB()
+	a1 := NewAIDA().Disambiguate(exampleProblem(k))
+	a2 := NewAIDA().Disambiguate(exampleProblem(k))
+	for i := range a1.Results {
+		if a1.Results[i].Entity != a2.Results[i].Entity {
+			t.Fatal("AIDA must be deterministic")
+		}
+	}
+}
+
+func TestAIDAWithKORECoherence(t *testing.T) {
+	k := buildTestKB()
+	cfg := Config{UsePrior: true, PriorTest: true, UseCoherence: true, CoherenceTest: true,
+		Measure: relatedness.KindKORE}
+	out := NewAIDAVariant("aida-kore", cfg).Disambiguate(exampleProblem(k))
+	if got := labelOf(t, k, out, 1); got != "Jimmy Page" {
+		t.Errorf("KORE coherence should still pick Jimmy Page, got %q", got)
+	}
+}
+
+func TestAIDAWithLSHCoherence(t *testing.T) {
+	k := buildTestKB()
+	for _, kind := range []relatedness.Kind{relatedness.KindKORELSHG, relatedness.KindKORELSHF} {
+		cfg := Config{UsePrior: true, PriorTest: true, UseCoherence: true, Measure: kind}
+		out := NewAIDAVariant("aida-lsh", cfg).Disambiguate(exampleProblem(k))
+		for _, r := range out.Results {
+			if r.CandidateIndex < 0 {
+				t.Errorf("%v: mention %q unassigned", kind, r.Surface)
+			}
+		}
+	}
+}
+
+func TestLSHReducesComparisons(t *testing.T) {
+	k := buildTestKB()
+	exact := NewAIDAVariant("exact", Config{UseCoherence: true, Measure: relatedness.KindKORE})
+	fast := NewAIDAVariant("fast", Config{UseCoherence: true, Measure: relatedness.KindKORELSHF})
+	ce := exact.Disambiguate(exampleProblem(k)).Stats.Comparisons
+	cf := fast.Disambiguate(exampleProblem(k)).Stats.Comparisons
+	if cf > ce {
+		t.Errorf("LSH-F should not do more comparisons: exact=%d lsh=%d", ce, cf)
+	}
+}
+
+func TestEEPlaceholderCandidateCanWin(t *testing.T) {
+	k := buildTestKB()
+	p := NewProblem(k, "Kashmir is a disputed territory in the Himalaya mountains between India and Pakistan.",
+		[]string{"Kashmir"}, 0)
+	// Inject a placeholder whose keyphrases match nothing: the region must
+	// still win.
+	ee := Candidate{
+		Entity:     kb.NoEntity,
+		Label:      "Kashmir_EE",
+		Keyphrases: []kb.Keyphrase{{Phrase: "new rock single", Words: []string{"new", "rock", "single"}, MI: 0.5}},
+	}
+	p.Mentions[0].Candidates = append(p.Mentions[0].Candidates, ee)
+	out := NewAIDAVariant("sim-k", Config{}).Disambiguate(p)
+	if got := out.Results[0].Label; got != "Kashmir" {
+		t.Errorf("region should win on matching context, got %q", got)
+	}
+
+	// Now a document that matches the placeholder's model best.
+	p2 := NewProblem(k, "The new rock single Kashmir debuted this week.", []string{"Kashmir"}, 0)
+	ee2 := ee
+	ee2.Keyphrases = []kb.Keyphrase{
+		{Phrase: "rock single", Words: []string{"rock", "single"}, MI: 0.5},
+		{Phrase: "debuted this week", Words: []string{"debuted", "week"}, MI: 0.5},
+	}
+	ee2.KeywordNPMI = map[string]float64{"rock": 0.9, "single": 0.9, "debuted": 0.9, "week": 0.9}
+	p2.Mentions[0].Candidates = append(p2.Mentions[0].Candidates, ee2)
+	out2 := NewAIDAVariant("sim-k", Config{}).Disambiguate(p2)
+	if got := out2.Results[0].Label; got != "Kashmir_EE" {
+		t.Errorf("placeholder should win on its own evidence, got %q", got)
+	}
+}
+
+func TestBaselinesProduceValidOutput(t *testing.T) {
+	k := buildTestKB()
+	p := exampleProblem(k)
+	for _, m := range Methods() {
+		out := m.Disambiguate(p)
+		if len(out.Results) != len(p.Mentions) {
+			t.Fatalf("%s: %d results for %d mentions", m.Name(), len(out.Results), len(p.Mentions))
+		}
+		for i, r := range out.Results {
+			if r.MentionIndex != i {
+				t.Errorf("%s: result %d has index %d", m.Name(), i, r.MentionIndex)
+			}
+			if r.CandidateIndex >= len(p.Mentions[i].Candidates) {
+				t.Errorf("%s: invalid candidate index", m.Name())
+			}
+		}
+	}
+}
+
+func TestKulkarniCIUsesCoherence(t *testing.T) {
+	k := buildTestKB()
+	ci := &Kulkarni{UsePrior: true, UseCoherence: true}
+	out := ci.Disambiguate(exampleProblem(k))
+	if out.Stats.Comparisons == 0 {
+		t.Error("Kul CI should compute relatedness")
+	}
+	if got := out.Results[2].Label; got != "Robert Plant" {
+		t.Errorf("unambiguous mention wrong: %q", got)
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, m := range Methods() {
+		if m.Name() == "" {
+			t.Fatal("empty method name")
+		}
+		if names[m.Name()] {
+			t.Fatalf("duplicate method name %q", m.Name())
+		}
+		names[m.Name()] = true
+	}
+	if (&Kulkarni{UsePrior: true, UseCoherence: true}).Name() != "Kul CI" {
+		t.Error("Kul CI name wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	k := buildTestKB()
+	p := exampleProblem(k)
+	q := p.Clone()
+	q.Mentions = q.Mentions[:1]
+	q.Mentions[0].Candidates = q.Mentions[0].Candidates[:1]
+	if len(p.Mentions) != 4 {
+		t.Fatal("clone mutation leaked into original mentions")
+	}
+	if len(p.Mentions[0].Candidates) != 2 {
+		t.Fatal("clone mutation leaked into original candidates")
+	}
+}
+
+func TestMaxCandidatesCap(t *testing.T) {
+	k := buildTestKB()
+	p := NewProblem(k, exampleText, []string{"Page"}, 2)
+	if len(p.Mentions[0].Candidates) != 2 {
+		t.Fatalf("cap ignored: %d candidates", len(p.Mentions[0].Candidates))
+	}
+	// Capping keeps the highest-prior candidates.
+	if p.Mentions[0].Candidates[0].Label != "Larry Page" {
+		t.Errorf("first candidate should be most popular")
+	}
+}
+
+func BenchmarkAIDAFull(b *testing.B) {
+	k := buildTestKB()
+	p := exampleProblem(k)
+	m := NewAIDA()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Disambiguate(p)
+	}
+}
+
+func BenchmarkSimScores(b *testing.B) {
+	k := buildTestKB()
+	p := exampleProblem(k)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		simScores(p)
+	}
+}

@@ -1,0 +1,65 @@
+package disambig
+
+import (
+	"strings"
+
+	"aida/internal/kb"
+)
+
+// ExpandSurfaces applies the within-document coreference heuristic the AIDA
+// system ships with (Sec. 2.4.3 situates it; news-wire convention is to
+// introduce "Rubin Carter" once and then write "Carter"): every mention
+// that is a single word of a longer mention in the same document is
+// expanded to the longer surface, provided the longer surface is known to
+// the dictionary. Expansion sharply reduces artificial ambiguity for
+// person names.
+//
+// The input order is preserved; the returned slice has the same length.
+func ExpandSurfaces(k *kb.KB, surfaces []string) []string {
+	out := make([]string, len(surfaces))
+	copy(out, surfaces)
+	// Collect multi-word surfaces as expansion targets.
+	type target struct {
+		surface string
+		words   map[string]bool
+	}
+	var targets []target
+	for _, s := range surfaces {
+		fields := strings.Fields(s)
+		if len(fields) < 2 {
+			continue
+		}
+		words := make(map[string]bool, len(fields))
+		for _, f := range fields {
+			words[strings.ToLower(f)] = true
+		}
+		targets = append(targets, target{surface: s, words: words})
+	}
+	for i, s := range out {
+		if strings.ContainsRune(s, ' ') {
+			continue
+		}
+		lower := strings.ToLower(s)
+		var expansion string
+		unique := true
+		for _, t := range targets {
+			if !t.words[lower] || t.surface == s {
+				continue
+			}
+			if expansion != "" && expansion != t.surface {
+				unique = false // ambiguous expansion: leave as is
+				break
+			}
+			expansion = t.surface
+		}
+		if expansion == "" || !unique {
+			continue
+		}
+		// Only expand when the longer surface resolves through the
+		// dictionary (otherwise the expansion would strand the mention).
+		if k == nil || k.HasName(kb.NormalizeName(expansion)) {
+			out[i] = expansion
+		}
+	}
+	return out
+}

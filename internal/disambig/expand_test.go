@@ -1,0 +1,77 @@
+package disambig
+
+import (
+	"reflect"
+	"testing"
+
+	"aida/internal/kb"
+)
+
+func expandKB() *kb.KB {
+	b := kb.NewBuilder()
+	rubin := b.AddEntity("Rubin Carter", "sports", "person")
+	jimmy := b.AddEntity("Jimmy Carter", "politics", "person")
+	b.AddName("Carter", rubin, 5)
+	b.AddName("Carter", jimmy, 95)
+	return b.Build()
+}
+
+func TestExpandSurfacesBasic(t *testing.T) {
+	k := expandKB()
+	got := ExpandSurfaces(k, []string{"Rubin Carter", "Carter", "Desire"})
+	want := []string{"Rubin Carter", "Rubin Carter", "Desire"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestExpandSurfacesAmbiguousExpansion(t *testing.T) {
+	k := expandKB()
+	// Two different long forms containing "Carter": do not guess.
+	got := ExpandSurfaces(k, []string{"Rubin Carter", "Jimmy Carter", "Carter"})
+	if got[2] != "Carter" {
+		t.Fatalf("ambiguous expansion must be left alone, got %q", got[2])
+	}
+}
+
+func TestExpandSurfacesCaseInsensitive(t *testing.T) {
+	k := expandKB()
+	got := ExpandSurfaces(k, []string{"Rubin Carter", "CARTER"})
+	if got[1] != "Rubin Carter" {
+		t.Fatalf("case-insensitive match failed: %q", got[1])
+	}
+}
+
+func TestExpandSurfacesUnknownLongForm(t *testing.T) {
+	k := expandKB()
+	// "Marcello Cuttitta" is not in the dictionary: expanding "Cuttitta"
+	// would strand the mention, so it stays.
+	got := ExpandSurfaces(k, []string{"Marcello Cuttitta", "Cuttitta"})
+	if got[1] != "Cuttitta" {
+		t.Fatalf("expansion to unknown surface must be skipped, got %q", got[1])
+	}
+}
+
+func TestExpandSurfacesNilKB(t *testing.T) {
+	got := ExpandSurfaces(nil, []string{"Rubin Carter", "Carter"})
+	if got[1] != "Rubin Carter" {
+		t.Fatalf("nil KB should expand unconditionally, got %q", got[1])
+	}
+}
+
+func TestExpandSurfacesImprovesDisambiguation(t *testing.T) {
+	k := expandKB()
+	text := "Rubin Carter fought. Carter won the bout."
+	raw := []string{"Rubin Carter", "Carter"}
+	// Without expansion the prior pulls "Carter" to Jimmy Carter.
+	p := NewProblem(k, text, raw, 0)
+	out := PriorOnly{}.Disambiguate(p)
+	if out.Results[1].Label != "Jimmy Carter" {
+		t.Skip("prior no longer misleads; test premise gone")
+	}
+	p2 := NewProblem(k, text, ExpandSurfaces(k, raw), 0)
+	out2 := PriorOnly{}.Disambiguate(p2)
+	if out2.Results[1].Label != "Rubin Carter" {
+		t.Fatalf("expansion should resolve Carter to Rubin Carter, got %q", out2.Results[1].Label)
+	}
+}

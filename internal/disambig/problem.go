@@ -1,0 +1,250 @@
+// Package disambig implements AIDA, the dissertation's named-entity
+// disambiguation framework (Chapter 3): the popularity prior, the
+// keyphrase-based mention–entity similarity sim-k, the entity–entity
+// coherence graph, the prior and coherence robustness tests, and the
+// baseline methods it is evaluated against (prior-only, Cucerzan, Kulkarni
+// s/sp/CI, a TagMe-style linker and an Illinois-Wikifier-style linker).
+//
+// A disambiguation instance is a Problem: a document context plus mentions
+// with materialized candidate lists. Candidates carry their own features
+// (prior, keyphrases, link sets), so out-of-KB placeholder entities
+// (Chapter 5) participate in exactly the same machinery as KB entities.
+package disambig
+
+import (
+	"aida/internal/kb"
+	"aida/internal/textstat"
+	"aida/internal/tokenizer"
+)
+
+// Candidate is one disambiguation target for a mention, with all features
+// the methods consume. For knowledge-base entities the fields mirror the KB
+// entry; for emerging-entity placeholders Entity is kb.NoEntity and the
+// keyphrase model is supplied by the caller.
+type Candidate struct {
+	Entity      kb.EntityID
+	Label       string // canonical name, or "<name>_EE" for placeholders
+	Prior       float64
+	Types       []string // semantic types (for NEC-style filtering)
+	Keyphrases  []kb.Keyphrase
+	KeywordNPMI map[string]float64
+	InLinks     []kb.EntityID
+	// PriorWeight scales this candidate's edge weights (γ_EE balancing of
+	// Sec. 5.6 for placeholder candidates; 1 for KB entities).
+	EdgeScale float64
+}
+
+func (c *Candidate) edgeScale() float64 {
+	if c.EdgeScale <= 0 {
+		return 1
+	}
+	return c.EdgeScale
+}
+
+// Mention is one name occurrence to disambiguate.
+type Mention struct {
+	Surface    string
+	Candidates []Candidate
+}
+
+// Problem is a self-contained disambiguation instance.
+type Problem struct {
+	// ContextWords are the lower-cased, stopword-filtered tokens of the
+	// whole input text (the mention context of Sec. 3.3.4).
+	ContextWords []string
+	Mentions     []Mention
+	// WordIDF is the collection-wide keyword IDF used as the fallback
+	// weight in cover scoring (Eq. 3.4) and as the KORE keyword weight.
+	WordIDF func(string) float64
+	// TotalEntities is |E| of the underlying KB (for the MW measure).
+	TotalEntities int
+
+	matcher *textstat.Matcher
+}
+
+// Matcher returns the lazily built cover matcher over the context words.
+func (p *Problem) Matcher() *textstat.Matcher {
+	if p.matcher == nil {
+		p.matcher = textstat.NewMatcher(p.ContextWords)
+	}
+	return p.matcher
+}
+
+// wordIDF is the nil-safe accessor for Problem.WordIDF.
+func (p *Problem) wordIDF(w string) float64 {
+	if p.WordIDF == nil {
+		return 1
+	}
+	if v := p.WordIDF(w); v > 0 {
+		return v
+	}
+	return 0.1 // unknown words carry minimal evidence
+}
+
+// NewProblem builds a Problem from raw text and pre-recognized mention
+// surfaces, materializing up to maxCandidates candidates per mention from
+// the KB dictionary (sorted by prior). maxCandidates ≤ 0 means no limit.
+func NewProblem(k *kb.KB, text string, surfaces []string, maxCandidates int) *Problem {
+	return NewProblemFromWords(k, tokenizer.ContentWords(text), surfaces, maxCandidates)
+}
+
+// NewProblemFromWords is NewProblem on pre-tokenized context words.
+func NewProblemFromWords(k *kb.KB, contextWords, surfaces []string, maxCandidates int) *Problem {
+	p := &Problem{
+		ContextWords:  contextWords,
+		Mentions:      make([]Mention, 0, len(surfaces)),
+		WordIDF:       k.WordIDF,
+		TotalEntities: k.NumEntities(),
+	}
+	for _, s := range surfaces {
+		p.Mentions = append(p.Mentions, Mention{
+			Surface:    s,
+			Candidates: MaterializeCandidates(k, s, maxCandidates),
+		})
+	}
+	return p
+}
+
+// MaterializeCandidates looks up a surface form in the KB dictionary and
+// returns candidate structs with all features attached.
+func MaterializeCandidates(k *kb.KB, surface string, maxCandidates int) []Candidate {
+	cands := k.Candidates(surface)
+	if maxCandidates > 0 && len(cands) > maxCandidates {
+		cands = cands[:maxCandidates]
+	}
+	out := make([]Candidate, len(cands))
+	for i, c := range cands {
+		ent := k.Entity(c.Entity)
+		out[i] = Candidate{
+			Entity:      c.Entity,
+			Label:       ent.Name,
+			Prior:       c.Prior,
+			Types:       ent.Types,
+			Keyphrases:  ent.Keyphrases,
+			KeywordNPMI: ent.KeywordNPMI,
+			InLinks:     ent.InLinks,
+		}
+	}
+	return out
+}
+
+// Clone returns a deep-enough copy of the problem for perturbation: the
+// mention slice and candidate slices are fresh, while the immutable
+// candidate features are shared.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		ContextWords:  p.ContextWords,
+		Mentions:      make([]Mention, len(p.Mentions)),
+		WordIDF:       p.WordIDF,
+		TotalEntities: p.TotalEntities,
+		matcher:       p.matcher,
+	}
+	for i, m := range p.Mentions {
+		q.Mentions[i] = Mention{
+			Surface:    m.Surface,
+			Candidates: append([]Candidate(nil), m.Candidates...),
+		}
+	}
+	return q
+}
+
+// Result is the outcome for one mention.
+type Result struct {
+	MentionIndex   int
+	Surface        string
+	CandidateIndex int // -1 when no candidate was chosen (OOE or empty)
+	Entity         kb.EntityID
+	Label          string
+	Score          float64
+	// Scores holds the method's final per-candidate scores, aligned with
+	// Mentions[MentionIndex].Candidates; used by the confidence assessors
+	// of Chapter 5. May be nil for methods without a score vector.
+	Scores []float64
+}
+
+// Stats reports work counters of one disambiguation run.
+type Stats struct {
+	// Comparisons is the number of pairwise entity relatedness
+	// computations performed (the quantity of Fig. 4.5/Table 4.4).
+	Comparisons int
+	// GraphEntities is the number of candidate entities in the graph.
+	GraphEntities int
+}
+
+// Output is a full disambiguation result.
+type Output struct {
+	Results []Result
+	Stats   Stats
+}
+
+// Assignment returns the chosen entity per mention (kb.NoEntity when none).
+func (o *Output) Assignment() []kb.EntityID {
+	out := make([]kb.EntityID, len(o.Results))
+	for i, r := range o.Results {
+		out[i] = r.Entity
+	}
+	return out
+}
+
+// Method is a disambiguation algorithm.
+type Method interface {
+	Name() string
+	Disambiguate(p *Problem) *Output
+}
+
+// emptyResult builds the abstain result for a mention.
+func emptyResult(i int, m *Mention) Result {
+	return Result{MentionIndex: i, Surface: m.Surface, CandidateIndex: -1, Entity: kb.NoEntity, Label: ""}
+}
+
+// pickResult builds the result for choosing candidate c of mention i.
+func pickResult(i int, m *Mention, c int, score float64, scores []float64) Result {
+	if c < 0 || c >= len(m.Candidates) {
+		r := emptyResult(i, m)
+		r.Scores = scores
+		return r
+	}
+	return Result{
+		MentionIndex:   i,
+		Surface:        m.Surface,
+		CandidateIndex: c,
+		Entity:         m.Candidates[c].Entity,
+		Label:          m.Candidates[c].Label,
+		Score:          score,
+		Scores:         scores,
+	}
+}
+
+// argmax returns the index of the maximal score, -1 for empty input.
+// Ties break toward the lower index (candidates are prior-sorted, so ties
+// fall back to popularity).
+func argmax(scores []float64) int {
+	best := -1
+	bestV := 0.0
+	for i, v := range scores {
+		if best < 0 || v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// normalizeSum scales a non-negative vector to sum 1 (in place copy).
+func normalizeSum(v []float64) []float64 {
+	out := make([]float64, len(v))
+	var sum float64
+	for _, x := range v {
+		if x > 0 {
+			sum += x
+		}
+	}
+	if sum <= 0 {
+		return out
+	}
+	for i, x := range v {
+		if x > 0 {
+			out[i] = x / sum
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package disambig
+
+import "aida/internal/textstat"
+
+// RawSimScores exposes the unnormalized keyphrase similarity mass per
+// candidate (Eq. 3.6). Unlike the per-mention normalized scores used for
+// ranking, the raw mass carries evidence *magnitude*: the keyphrase
+// harvester of Chapter 5 gates on it so that mentions matching only
+// scattered words never count as high-confidence disambiguations.
+func RawSimScores(p *Problem) [][]float64 {
+	return simScores(p)
+}
+
+// BestPhraseCover returns the best single-keyphrase cover score (Eq. 3.4)
+// of a candidate against the document context: 1 means at least one of the
+// candidate's keyphrases occurs fully and contiguously. A genuine mention
+// of the entity almost always realizes one of its keyphrases verbatim;
+// scattered word-level matches never reach a high cover score, which makes
+// this the precision gate for keyphrase harvesting (Sec. 5.5.1).
+func BestPhraseCover(p *Problem, c *Candidate) float64 {
+	matcher := p.Matcher()
+	weight := func(w string) float64 {
+		if npmi, ok := c.KeywordNPMI[w]; ok && npmi > 0 {
+			return npmi
+		}
+		return p.wordIDF(w)
+	}
+	best := 0.0
+	for _, kp := range c.Keyphrases {
+		if len(kp.Words) == 0 {
+			continue
+		}
+		if s := matcher.ScorePhrase(kp.Words, weight); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// simScores computes the keyphrase-based mention–entity similarity sim-k
+// (Sec. 3.3.4, Eq. 3.6) for every candidate of every mention: the sum over
+// the entity's keyphrases of the partial-match cover score Eq. 3.4 against
+// the document context, with keyword weights NPMI (entity-specific) falling
+// back to collection IDF.
+func simScores(p *Problem) [][]float64 {
+	matcher := p.Matcher()
+	out := make([][]float64, len(p.Mentions))
+	// Cache per unique candidate label: candidates repeat across mentions
+	// ("Page" twice in a document) and their sim depends only on the
+	// document, not the mention.
+	cache := make(map[string]float64)
+	for i := range p.Mentions {
+		m := &p.Mentions[i]
+		scores := make([]float64, len(m.Candidates))
+		for j := range m.Candidates {
+			c := &m.Candidates[j]
+			if v, ok := cache[c.Label]; ok {
+				scores[j] = v
+				continue
+			}
+			v := candidateSim(matcher, c, p.wordIDF)
+			cache[c.Label] = v
+			scores[j] = v
+		}
+		out[i] = scores
+	}
+	return out
+}
+
+// candidateSim scores one candidate against the document matcher.
+func candidateSim(matcher *textstat.Matcher, c *Candidate, idf func(string) float64) float64 {
+	weight := func(w string) float64 {
+		if npmi, ok := c.KeywordNPMI[w]; ok && npmi > 0 {
+			return npmi
+		}
+		return idf(w)
+	}
+	var total float64
+	for _, kp := range c.Keyphrases {
+		if len(kp.Words) == 0 {
+			continue
+		}
+		// Quick reject: skip phrases with no word in the document.
+		any := false
+		for _, w := range kp.Words {
+			if matcher.Contains(w) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		total += matcher.ScorePhrase(kp.Words, weight)
+	}
+	return total
+}
+
+// priorVector extracts the candidates' priors of one mention.
+func priorVector(m *Mention) []float64 {
+	out := make([]float64, len(m.Candidates))
+	for i := range m.Candidates {
+		out[i] = m.Candidates[i].Prior
+	}
+	return out
+}
+
+// l1Distance computes Σ|a_i - b_i| over two equal-length vectors; the
+// coherence robustness test (Sec. 3.5.2) applies it to the prior and the
+// normalized similarity distributions.
+func l1Distance(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		diff := a[i] - b[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		d += diff
+	}
+	return d
+}

@@ -1,0 +1,158 @@
+package emerge
+
+import (
+	"aida/internal/disambig"
+	"aida/internal/kb"
+)
+
+// ChunkDoc is one document of the harvesting chunk (the recent news the
+// placeholder models are mined from).
+type ChunkDoc struct {
+	Text     string
+	Surfaces []string // recognized mention surfaces with dictionary candidates
+}
+
+// Pipeline wires the NED-EE components (Sec. 5.3) into the end-to-end
+// news-stream workflow: keyphrase harvesting over a recent chunk, in-KB
+// keyphrase enrichment from high-confidence disambiguations, placeholder
+// model construction by model difference, and discovery via Algorithm 3.
+type Pipeline struct {
+	KB *kb.KB
+	// Method disambiguates the extended problems (default: r-prior sim-k).
+	Method disambig.Method
+	// HarvestMethod disambiguates chunk documents for enrichment
+	// (default: same family as Method).
+	HarvestMethod disambig.Method
+	// Model tunes placeholder construction.
+	Model ModelConfig
+	// MaxCandidates caps dictionary candidates per mention (0 = no cap).
+	MaxCandidates int
+	// HarvestWindow is the sentence window of the harvester (0 = the
+	// dissertation's ±5; negative = same sentence only).
+	HarvestWindow int
+	// MinCover gates enrichment: a sentence contributes evidence for a
+	// disambiguated entity only if it covers one of the entity's known
+	// keyphrases at least this well (default 0.9). Zero-evidence
+	// "confident" assignments must never enrich (see Sec. 5.7.3 on
+	// keyphrases for existing entities).
+	MinCover float64
+	// MinConfidence is the harvesting confidence threshold (default 0.95).
+	MinConfidence float64
+}
+
+func (pl *Pipeline) method() disambig.Method {
+	if pl.Method != nil {
+		return pl.Method
+	}
+	return disambig.NewAIDAVariant("ee-sim", disambig.Config{UsePrior: true, PriorTest: true})
+}
+
+func (pl *Pipeline) harvestMethod() disambig.Method {
+	if pl.HarvestMethod != nil {
+		return pl.HarvestMethod
+	}
+	return pl.method()
+}
+
+func (pl *Pipeline) minCover() float64 {
+	if pl.MinCover <= 0 {
+		return 0.9
+	}
+	return pl.MinCover
+}
+
+func (pl *Pipeline) minConfidence() float64 {
+	if pl.MinConfidence <= 0 {
+		return 0.95
+	}
+	return pl.MinConfidence
+}
+
+func (pl *Pipeline) harvester() Harvester {
+	return Harvester{Window: pl.HarvestWindow, Lexicon: pl.KB}
+}
+
+// BuildEnricher mines keyphrases for existing entities from the chunk
+// (Sec. 5.5.1): each document is disambiguated, and sentences around
+// high-confidence mentions that carry verbatim keyphrase evidence for the
+// chosen entity are harvested and attributed to it.
+func (pl *Pipeline) BuildEnricher(chunk []ChunkDoc) *Enricher {
+	enricher := NewEnricher()
+	m := pl.harvestMethod()
+	for _, d := range chunk {
+		if len(d.Surfaces) == 0 {
+			continue
+		}
+		p := disambig.NewProblem(pl.KB, d.Text, d.Surfaces, pl.MaxCandidates)
+		out := m.Disambiguate(p)
+		conf := NormConfidence(out)
+		chosen := map[string]*disambig.Candidate{}
+		for j, r := range out.Results {
+			if r.CandidateIndex >= 0 {
+				chosen[r.Surface] = &p.Mentions[j].Candidates[r.CandidateIndex]
+			}
+		}
+		h := pl.harvester()
+		h.SentenceFilter = func(name string, sentenceWords []string) bool {
+			c := chosen[name]
+			if c == nil {
+				return false
+			}
+			sub := &disambig.Problem{ContextWords: sentenceWords, WordIDF: p.WordIDF}
+			return disambig.BestPhraseCover(sub, c) >= pl.minCover()
+		}
+		enricher.HarvestHighConfidence(&h, d.Text, out, conf, pl.minConfidence())
+	}
+	return enricher
+}
+
+// Models harvests the chunk for the given surfaces and builds one
+// placeholder candidate per surface that has any global evidence. The
+// enricher (may be nil) supplies harvested keyphrases for existing
+// entities, which are subtracted from the placeholder models.
+func (pl *Pipeline) Models(chunk []ChunkDoc, surfaces []string, enricher *Enricher) map[string]disambig.Candidate {
+	texts := make([]string, len(chunk))
+	for i, d := range chunk {
+		texts[i] = d.Text
+	}
+	h := pl.harvester()
+	hv := h.HarvestDocs(texts, surfaces)
+	cfg := pl.Model
+	if cfg.KBSize == 0 {
+		cfg.KBSize = pl.KB.NumEntities()
+	}
+	models := make(map[string]disambig.Candidate)
+	for _, surf := range surfaces {
+		if _, done := models[surf]; done {
+			continue
+		}
+		if len(hv.Counts[surf]) == 0 {
+			continue
+		}
+		cands := disambig.MaterializeCandidates(pl.KB, surf, 0)
+		if enricher != nil {
+			enricher.EnrichCandidates(cands)
+		}
+		models[surf] = BuildEEModel(surf, hv, cands, cfg)
+	}
+	return models
+}
+
+// Problem builds the (optionally enriched) disambiguation problem for a
+// document.
+func (pl *Pipeline) Problem(text string, surfaces []string, enricher *Enricher) *disambig.Problem {
+	p := disambig.NewProblem(pl.KB, text, surfaces, pl.MaxCandidates)
+	if enricher != nil {
+		enricher.Enrich(p)
+	}
+	return p
+}
+
+// Run executes the full per-document flow: enriched problem, placeholder
+// models, Algorithm 3.
+func (pl *Pipeline) Run(text string, surfaces []string, chunk []ChunkDoc, enricher *Enricher) *Discovery {
+	p := pl.Problem(text, surfaces, enricher)
+	models := pl.Models(chunk, surfaces, enricher)
+	d := &Discoverer{Method: pl.method()}
+	return d.Discover(p, models)
+}

@@ -1,0 +1,95 @@
+package eval
+
+import "aida/internal/kb"
+
+// TAC-KBP-style evaluation (Sec. 2.2.4): one query mention per document,
+// judged for linking accuracy overall and separately for in-KB and NIL
+// (out-of-KB) queries — the B-cubed-free subset of the TAC entity-linking
+// metrics that applies to single-mention queries.
+
+// TACQuery is one entity-linking query with its gold answer and prediction.
+type TACQuery struct {
+	Gold kb.EntityID // kb.NoEntity for NIL queries
+	Pred kb.EntityID
+}
+
+// TACMetrics aggregates TAC entity-linking accuracy.
+type TACMetrics struct {
+	// Overall is the fraction of correctly answered queries.
+	Overall float64
+	// InKB is accuracy over queries whose gold entity is in the KB.
+	InKB float64
+	// NIL is accuracy over gold-NIL queries (predicting NoEntity).
+	NIL float64
+	// Queries / InKBQueries / NILQueries are the denominators.
+	Queries, InKBQueries, NILQueries int
+}
+
+// TACAccuracy scores a query set.
+func TACAccuracy(queries []TACQuery) TACMetrics {
+	var m TACMetrics
+	var correct, inKBCorrect, nilCorrect int
+	for _, q := range queries {
+		m.Queries++
+		ok := q.Gold == q.Pred
+		if ok {
+			correct++
+		}
+		if q.Gold == kb.NoEntity {
+			m.NILQueries++
+			if ok {
+				nilCorrect++
+			}
+		} else {
+			m.InKBQueries++
+			if ok {
+				inKBCorrect++
+			}
+		}
+	}
+	if m.Queries > 0 {
+		m.Overall = float64(correct) / float64(m.Queries)
+	}
+	if m.InKBQueries > 0 {
+		m.InKB = float64(inKBCorrect) / float64(m.InKBQueries)
+	}
+	if m.NILQueries > 0 {
+		m.NIL = float64(nilCorrect) / float64(m.NILQueries)
+	}
+	return m
+}
+
+// NILClusters evaluates TAC-style NIL clustering: gold and predicted
+// cluster labels for NIL queries (e.g. the OOE identity vs the placeholder
+// label). It returns pairwise precision/recall/F1 over same-cluster query
+// pairs, the standard clustering-agreement measure.
+func NILClusters(gold, pred []string) (precision, recall, f1 float64) {
+	if len(gold) != len(pred) || len(gold) < 2 {
+		return 0, 0, 0
+	}
+	var tp, fp, fn int
+	for i := 0; i < len(gold); i++ {
+		for j := i + 1; j < len(gold); j++ {
+			sameGold := gold[i] == gold[j]
+			samePred := pred[i] == pred[j]
+			switch {
+			case sameGold && samePred:
+				tp++
+			case !sameGold && samePred:
+				fp++
+			case sameGold && !samePred:
+				fn++
+			}
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}

@@ -1,0 +1,66 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"aida/internal/kb"
+)
+
+func TestTACAccuracy(t *testing.T) {
+	queries := []TACQuery{
+		{Gold: 1, Pred: 1},                     // in-KB correct
+		{Gold: 2, Pred: 3},                     // in-KB wrong
+		{Gold: kb.NoEntity, Pred: kb.NoEntity}, // NIL correct
+		{Gold: kb.NoEntity, Pred: 4},           // NIL missed
+	}
+	m := TACAccuracy(queries)
+	if !almost(m.Overall, 0.5) {
+		t.Errorf("overall = %v", m.Overall)
+	}
+	if !almost(m.InKB, 0.5) {
+		t.Errorf("in-KB = %v", m.InKB)
+	}
+	if !almost(m.NIL, 0.5) {
+		t.Errorf("NIL = %v", m.NIL)
+	}
+	if m.Queries != 4 || m.InKBQueries != 2 || m.NILQueries != 2 {
+		t.Errorf("denominators wrong: %+v", m)
+	}
+}
+
+func TestTACAccuracyEmpty(t *testing.T) {
+	m := TACAccuracy(nil)
+	if m.Overall != 0 || m.Queries != 0 {
+		t.Errorf("empty query set: %+v", m)
+	}
+}
+
+func TestNILClustersPerfect(t *testing.T) {
+	gold := []string{"a", "a", "b", "b"}
+	p, r, f1 := NILClusters(gold, gold)
+	if p != 1 || r != 1 || f1 != 1 {
+		t.Errorf("perfect clustering: p=%v r=%v f1=%v", p, r, f1)
+	}
+}
+
+func TestNILClustersOverMerged(t *testing.T) {
+	gold := []string{"a", "a", "b", "b"}
+	pred := []string{"x", "x", "x", "x"} // everything merged
+	p, r, _ := NILClusters(gold, pred)
+	if r != 1 {
+		t.Errorf("over-merging keeps recall 1, got %v", r)
+	}
+	if math.Abs(p-2.0/6.0) > 1e-9 {
+		t.Errorf("precision = %v, want 1/3", p)
+	}
+}
+
+func TestNILClustersOverSplit(t *testing.T) {
+	gold := []string{"a", "a", "a"}
+	pred := []string{"x", "y", "z"} // everything split
+	p, r, f1 := NILClusters(gold, pred)
+	if p != 0 || r != 0 || f1 != 0 {
+		t.Errorf("full split should zero out: p=%v r=%v f1=%v", p, r, f1)
+	}
+}

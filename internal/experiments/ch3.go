@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"aida/internal/disambig"
+	"aida/internal/eval"
+	"aida/internal/wiki"
+)
+
+// Table31 reproduces Table 3.1: the dataset properties of the CoNLL-like
+// corpus.
+func (s *Suite) Table31() wiki.CorpusStats {
+	return s.World.Stats(s.conll)
+}
+
+// FormatTable31 renders the dataset properties.
+func FormatTable31(st wiki.CorpusStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3.1: CoNLL-like dataset properties\n")
+	fmt.Fprintf(&b, "  articles                          %d\n", st.Docs)
+	fmt.Fprintf(&b, "  mentions (total)                  %d\n", st.Mentions)
+	fmt.Fprintf(&b, "  mentions with no entity           %d (%.1f%%)\n",
+		st.MentionsNoEntity, 100*float64(st.MentionsNoEntity)/float64(max(1, st.Mentions)))
+	fmt.Fprintf(&b, "  words per article (avg.)          %.0f\n", st.AvgWordsPerDoc)
+	fmt.Fprintf(&b, "  mentions per article (avg.)       %.1f\n", st.AvgMentionsPerDoc)
+	fmt.Fprintf(&b, "  entities per mention (avg.)       %.1f\n", st.AvgCandidatesPerMention)
+	return b.String()
+}
+
+// MethodAccuracy is one row of Table 3.2 / Figure 3.3.
+type MethodAccuracy struct {
+	Method string
+	Macro  float64
+	Micro  float64
+	MAP    float64
+}
+
+// Table32 reproduces Table 3.2 / Figure 3.3: macro/micro accuracy and MAP
+// of the AIDA variants and the baselines on the CoNLL-like test corpus.
+func (s *Suite) Table32() []MethodAccuracy {
+	var rows []MethodAccuracy
+	for _, m := range disambig.Methods() {
+		labels, ranked := s.runLabels(m, s.conll)
+		rows = append(rows, MethodAccuracy{
+			Method: m.Name(),
+			Macro:  eval.MacroAccuracy(labels, eval.InKBOnly),
+			Micro:  eval.MicroAccuracy(labels, eval.InKBOnly),
+			MAP:    eval.MAP(ranked),
+		})
+	}
+	return rows
+}
+
+// FormatTable32 renders the accuracy table.
+func FormatTable32(rows []MethodAccuracy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3.2 / Figure 3.3: NED accuracy on the CoNLL-like corpus (%%)\n")
+	fmt.Fprintf(&b, "  %-28s %8s %8s %8s\n", "method", "MacroA", "MicroA", "MAP")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-28s %8.2f %8.2f %8.2f\n", r.Method, 100*r.Macro, 100*r.Micro, 100*r.MAP)
+	}
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package nec
+
+import (
+	"testing"
+
+	"aida/internal/disambig"
+	"aida/internal/kb"
+)
+
+func buildTypedKB() *kb.KB {
+	b := kb.NewBuilder()
+	boxer := b.AddEntity("Rubin Carter", "sports", "person", "boxer")
+	president := b.AddEntity("Jimmy Carter", "politics", "person", "politician")
+	city := b.AddEntity("Carterville", "geography", "location")
+	b.AddName("Carter", boxer, 10)
+	b.AddName("Carter", president, 80)
+	b.AddName("Carter", city, 10)
+	b.AddKeyphrase(boxer, "middleweight boxing champion")
+	b.AddKeyphrase(boxer, "heavyweight fight")
+	b.AddKeyphrase(boxer, "boxing ring")
+	b.AddKeyphrase(president, "united states president")
+	b.AddKeyphrase(president, "presidential election campaign")
+	b.AddKeyphrase(president, "white house")
+	b.AddKeyphrase(city, "small rural town")
+	b.AddKeyphrase(city, "county seat")
+	return b.Build()
+}
+
+func TestClassifierTypes(t *testing.T) {
+	c := Train(buildTypedKB())
+	types := c.Types()
+	want := map[string]bool{"person": true, "boxer": true, "politician": true, "location": true}
+	for _, typ := range types {
+		if !want[typ] {
+			t.Fatalf("unexpected type %q", typ)
+		}
+	}
+	if len(types) != len(want) {
+		t.Fatalf("types = %v", types)
+	}
+}
+
+func TestClassifierBest(t *testing.T) {
+	c := Train(buildTypedKB())
+	typ, score := c.Best([]string{"boxing", "champion", "fight"})
+	if typ != "boxer" {
+		t.Fatalf("boxing context classified as %q (%.3f)", typ, score)
+	}
+	typ, _ = c.Best([]string{"presidential", "election", "white", "house"})
+	if typ != "politician" {
+		t.Fatalf("politics context classified as %q", typ)
+	}
+	typ, _ = c.Best([]string{"rural", "town", "county"})
+	if typ != "location" {
+		t.Fatalf("geo context classified as %q", typ)
+	}
+}
+
+func TestClassifierScoresBounded(t *testing.T) {
+	c := Train(buildTypedKB())
+	for _, v := range c.Scores([]string{"boxing", "united", "town"}) {
+		if v < 0 || v > 1+1e-9 {
+			t.Fatalf("score out of range: %v", v)
+		}
+	}
+}
+
+func TestFilterCandidates(t *testing.T) {
+	k := buildTypedKB()
+	p := disambig.NewProblem(k, "The boxing champion Carter won the heavyweight fight.", []string{"Carter"}, 0)
+	c := Train(k)
+	if got := len(p.Mentions[0].Candidates); got != 3 {
+		t.Fatalf("precondition: want 3 candidates, got %d", got)
+	}
+	c.FilterCandidates(p, 0.05)
+	for _, cand := range p.Mentions[0].Candidates {
+		if cand.Label == "Carterville" {
+			t.Fatal("location candidate should be filtered in boxing context")
+		}
+	}
+	if len(p.Mentions[0].Candidates) == 0 {
+		t.Fatal("filter must keep matching candidates")
+	}
+}
+
+func TestFilterKeepsPlaceholders(t *testing.T) {
+	k := buildTypedKB()
+	p := disambig.NewProblem(k, "The boxing champion Carter won.", []string{"Carter"}, 0)
+	p.Mentions[0].Candidates = append(p.Mentions[0].Candidates, disambig.Candidate{
+		Entity: kb.NoEntity, Label: "Carter_EE",
+	})
+	Train(k).FilterCandidates(p, 0.05)
+	found := false
+	for _, cand := range p.Mentions[0].Candidates {
+		if cand.Label == "Carter_EE" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("placeholder candidates must survive type filtering")
+	}
+}
+
+func TestFilterRespectsMargin(t *testing.T) {
+	k := buildTypedKB()
+	p := disambig.NewProblem(k, "Carter appeared.", []string{"Carter"}, 0)
+	before := len(p.Mentions[0].Candidates)
+	Train(k).FilterCandidates(p, 0.99) // no context reaches this margin
+	if len(p.Mentions[0].Candidates) != before {
+		t.Fatal("low-confidence predictions must not prune")
+	}
+}
+
+func TestFilterImprovesDisambiguation(t *testing.T) {
+	k := buildTypedKB()
+	text := "Carter won the middleweight boxing title in the ring."
+	p := disambig.NewProblem(k, text, []string{"Carter"}, 0)
+	Train(k).FilterCandidates(p, 0.05)
+	out := disambig.NewAIDAVariant("sim", disambig.Config{}).Disambiguate(p)
+	if out.Results[0].Label != "Rubin Carter" {
+		t.Fatalf("typed+filtered context should pick the boxer, got %q", out.Results[0].Label)
+	}
+}

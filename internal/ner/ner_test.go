@@ -1,0 +1,152 @@
+package ner
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func surfaces(ms []Mention) []string { return MentionSurfaces(ms) }
+
+func TestRecognizeShapeOnly(t *testing.T) {
+	var r Recognizer
+	ms := r.Recognize("They performed Kashmir, written by Page and Plant.")
+	want := []string{"Kashmir", "Page", "Plant"}
+	if !reflect.DeepEqual(surfaces(ms), want) {
+		t.Fatalf("got %v want %v", surfaces(ms), want)
+	}
+}
+
+func TestRecognizeMultiToken(t *testing.T) {
+	var r Recognizer
+	ms := r.Recognize("He met Robert Plant in New York yesterday.")
+	want := []string{"Robert Plant", "New York"}
+	if !reflect.DeepEqual(surfaces(ms), want) {
+		t.Fatalf("got %v want %v", surfaces(ms), want)
+	}
+}
+
+func TestRecognizeJoiner(t *testing.T) {
+	var r Recognizer
+	ms := r.Recognize("officials at the Bank of England intervened")
+	want := []string{"Bank of England"}
+	if !reflect.DeepEqual(surfaces(ms), want) {
+		t.Fatalf("got %v want %v", surfaces(ms), want)
+	}
+}
+
+func TestRecognizeAcronym(t *testing.T) {
+	var r Recognizer
+	ms := r.Recognize("the NSA and the FBI traded files")
+	want := []string{"NSA", "FBI"}
+	if !reflect.DeepEqual(surfaces(ms), want) {
+		t.Fatalf("got %v want %v", surfaces(ms), want)
+	}
+}
+
+func TestRecognizeOffsets(t *testing.T) {
+	var r Recognizer
+	text := "Japan began the defence of their Asian Cup title against Syria."
+	for _, m := range r.Recognize(text) {
+		if text[m.Start:m.End] != m.Text {
+			t.Errorf("offsets of %q do not match slice %q", m.Text, text[m.Start:m.End])
+		}
+	}
+}
+
+func TestLexiconLongestMatch(t *testing.T) {
+	lex := LexiconFunc(func(n string) bool {
+		switch n {
+		case "NEWPORT FOLK FESTIVAL", "NEWPORT":
+			return true
+		}
+		return false
+	})
+	r := Recognizer{Lexicon: lex}
+	ms := r.Recognize("Dylan played at the Newport Folk Festival there.")
+	found := false
+	for _, m := range ms {
+		if m.Text == "Newport Folk Festival" {
+			found = true
+		}
+		if m.Text == "Newport" {
+			t.Errorf("shorter match preferred over longest")
+		}
+	}
+	if !found {
+		t.Fatalf("longest dictionary match not found in %v", surfaces(ms))
+	}
+}
+
+func TestCaseSensitiveShortNames(t *testing.T) {
+	if Normalized("US") != "US" {
+		t.Errorf("short names must stay case-sensitive")
+	}
+	if Normalized("us") != "us" {
+		t.Errorf("short names must stay case-sensitive")
+	}
+	if Normalized("Apple") != "APPLE" {
+		t.Errorf("long names are upper-cased, got %q", Normalized("Apple"))
+	}
+}
+
+func TestSentenceInitialStopword(t *testing.T) {
+	var r Recognizer
+	ms := r.Recognize("The game ended. Most fans left early.")
+	for _, m := range ms {
+		if m.Text == "The" || m.Text == "Most" {
+			t.Errorf("sentence-initial stopword %q recognized as mention", m.Text)
+		}
+	}
+}
+
+func TestIsAcronym(t *testing.T) {
+	cases := map[string]bool{"USA": true, "UN": true, "Apple": false, "A": false, "us": false}
+	for in, want := range cases {
+		if got := IsAcronym(in); got != want {
+			t.Errorf("IsAcronym(%q) = %v want %v", in, got, want)
+		}
+	}
+}
+
+func TestMaxTokens(t *testing.T) {
+	r := Recognizer{MaxTokens: 2}
+	ms := r.Recognize("the International Business Machines Corporation building")
+	for _, m := range ms {
+		if n := len(strings.Fields(m.Text)); n > 2 {
+			t.Errorf("mention %q exceeds MaxTokens", m.Text)
+		}
+	}
+}
+
+// Property: mentions never overlap, are in order, and slice back correctly.
+func TestRecognizeInvariants(t *testing.T) {
+	var r Recognizer
+	f := func(words []string) bool {
+		text := strings.Join(words, " ")
+		prevEnd := -1
+		for _, m := range r.Recognize(text) {
+			if m.Start < prevEnd || m.End <= m.Start {
+				return false
+			}
+			if m.End > len(text) || text[m.Start:m.End] != m.Text {
+				return false
+			}
+			prevEnd = m.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRecognize(b *testing.B) {
+	var r Recognizer
+	text := strings.Repeat("Italy recalled Marcello Cuttitta for their friendly against Scotland at Murrayfield. ", 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Recognize(text)
+	}
+}

@@ -1,0 +1,89 @@
+package relatedness
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aida/internal/kb"
+)
+
+func TestJaccardLinks(t *testing.T) {
+	a := []kb.EntityID{1, 2, 3, 4}
+	b := []kb.EntityID{3, 4, 5, 6}
+	if got := JaccardLinks(a, b); !almostEq(got, 2.0/6.0) {
+		t.Fatalf("got %v want 1/3", got)
+	}
+	if got := JaccardLinks(a, a); !almostEq(got, 1) {
+		t.Fatalf("self jaccard = %v", got)
+	}
+	if got := JaccardLinks(nil, nil); got != 0 {
+		t.Fatalf("empty jaccard = %v", got)
+	}
+}
+
+func TestConditionalLinks(t *testing.T) {
+	e := []kb.EntityID{1, 2, 3, 4}
+	f := []kb.EntityID{3, 4}
+	if got := ConditionalLinks(e, f); !almostEq(got, 0.5) {
+		t.Fatalf("P(f|e) = %v want 0.5", got)
+	}
+	if got := ConditionalLinks(f, e); !almostEq(got, 1.0) {
+		t.Fatalf("P(e|f) = %v want 1", got)
+	}
+	sym := SymmetricConditional(e, f)
+	if !almostEq(sym, 0.75) {
+		t.Fatalf("symmetric = %v want 0.75", sym)
+	}
+}
+
+func TestConditionalLinksBounds(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a := idsOf(xs)
+		b := idsOf(ys)
+		v := ConditionalLinks(a, b)
+		s := SymmetricConditional(a, b)
+		return v >= 0 && v <= 1 && s >= 0 && s <= 1 &&
+			almostEq(s, SymmetricConditional(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectLinkAndCombined(t *testing.T) {
+	k, music, physics := buildClusterKB()
+	a := k.Entity(music[0])
+	b := k.Entity(music[1])
+	c := k.Entity(physics[0])
+	if !DirectLink(a, b) {
+		t.Fatal("cluster mates are fully interlinked")
+	}
+	if DirectLink(a, c) {
+		t.Fatal("cross-cluster entities are not linked")
+	}
+	intra := CombinedLinkMeasure(a, b, k.NumEntities())
+	inter := CombinedLinkMeasure(a, c, k.NumEntities())
+	if intra <= inter {
+		t.Fatalf("combined measure ordering violated: %v vs %v", intra, inter)
+	}
+	if intra < 0 || intra > 1 || inter < 0 || inter > 1 {
+		t.Fatalf("combined measure out of range: %v %v", intra, inter)
+	}
+}
+
+func TestContainsSorted(t *testing.T) {
+	ids := []kb.EntityID{1, 3, 5, 9}
+	for _, x := range ids {
+		if !containsSorted(ids, x) {
+			t.Fatalf("%d should be found", x)
+		}
+	}
+	for _, x := range []kb.EntityID{0, 2, 4, 10} {
+		if containsSorted(ids, x) {
+			t.Fatalf("%d should not be found", x)
+		}
+	}
+	if containsSorted(nil, 1) {
+		t.Fatal("empty slice contains nothing")
+	}
+}

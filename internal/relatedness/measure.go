@@ -1,0 +1,121 @@
+package relatedness
+
+import (
+	"fmt"
+	"sync"
+
+	"aida/internal/kb"
+)
+
+// Kind selects one of the implemented relatedness measures.
+type Kind int
+
+// The measures evaluated in Chapter 4 (Tables 4.2/4.3).
+const (
+	KindMW       Kind = iota // Milne–Witten in-link overlap
+	KindKWCS                 // keyword cosine
+	KindKPCS                 // keyphrase cosine
+	KindKORE                 // exact keyphrase overlap relatedness
+	KindKORELSHG             // KORE with recall-oriented LSH pre-clustering
+	KindKORELSHF             // KORE with precision-oriented LSH pre-clustering
+)
+
+// String returns the measure name as used in the dissertation's tables.
+func (k Kind) String() string {
+	switch k {
+	case KindMW:
+		return "MW"
+	case KindKWCS:
+		return "KWCS"
+	case KindKPCS:
+		return "KPCS"
+	case KindKORE:
+		return "KORE"
+	case KindKORELSHG:
+		return "KORE-LSH-G"
+	case KindKORELSHF:
+		return "KORE-LSH-F"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsLSH reports whether the measure pre-filters pairs with LSH.
+func (k Kind) IsLSH() bool { return k == KindKORELSHG || k == KindKORELSHF }
+
+// Measure is a relatedness measure bound to a knowledge base, with cached
+// per-entity profiles. It is safe for concurrent use.
+type Measure struct {
+	Kind Kind
+	KB   *kb.KB
+
+	mu       sync.Mutex
+	profiles map[kb.EntityID]*Profile
+	filter   *LSHFilter
+}
+
+// NewMeasure binds a measure kind to a knowledge base.
+func NewMeasure(kind Kind, k *kb.KB) *Measure {
+	m := &Measure{Kind: kind, KB: k, profiles: make(map[kb.EntityID]*Profile)}
+	if kind.IsLSH() {
+		m.filter = NewLSHFilter(k, kind)
+	}
+	return m
+}
+
+// weighter returns the global keyword-IDF weighter of the bound KB.
+func (m *Measure) weighter() Weighter {
+	return func(w string) float64 {
+		v := m.KB.WordIDF(w)
+		if v <= 0 {
+			return 0.1 // unknown words carry minimal evidence
+		}
+		return v
+	}
+}
+
+// profile returns the cached keyphrase profile of an entity.
+func (m *Measure) profile(e kb.EntityID) *Profile {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.profiles[e]; ok {
+		return p
+	}
+	p := NewProfile(m.KB.Entity(e).Keyphrases, m.weighter())
+	m.profiles[e] = p
+	return p
+}
+
+// Relatedness computes the relatedness of two entities under the bound
+// measure kind. For LSH kinds this is the exact KORE value (the pair
+// filtering is exposed separately via Pairs).
+func (m *Measure) Relatedness(a, b kb.EntityID) float64 {
+	if a == b {
+		return 1
+	}
+	switch m.Kind {
+	case KindMW:
+		return MW(m.KB.Entity(a).InLinks, m.KB.Entity(b).InLinks, m.KB.NumEntities())
+	case KindKWCS:
+		return KeywordCosine(m.KB.Entity(a).Keyphrases, m.KB.Entity(b).Keyphrases, m.weighter())
+	case KindKPCS:
+		return KeyphraseCosine(m.KB.Entity(a).Keyphrases, m.KB.Entity(b).Keyphrases)
+	default: // KORE and its LSH variants
+		return KOREProfiles(m.profile(a), m.profile(b))
+	}
+}
+
+// Pairs returns the entity pairs whose relatedness should be computed for
+// the given candidate set. Exact measures return all pairs; LSH variants
+// return only pairs sharing at least one stage-two bucket (Sec. 4.4.2).
+func (m *Measure) Pairs(entities []kb.EntityID) [][2]kb.EntityID {
+	if m.filter != nil {
+		return m.filter.Pairs(entities)
+	}
+	var out [][2]kb.EntityID
+	for i := 0; i < len(entities); i++ {
+		for j := i + 1; j < len(entities); j++ {
+			out = append(out, [2]kb.EntityID{entities[i], entities[j]})
+		}
+	}
+	return out
+}

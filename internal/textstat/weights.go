@@ -1,0 +1,80 @@
+// Package textstat provides the statistical weighting and partial-match
+// scoring machinery of the dissertation: IDF (Eq. 3.5), normalized pointwise
+// mutual information (Eq. 3.1), normalized mutual information µ (Eq. 4.1),
+// and the keyphrase cover-window scoring used by AIDA's mention–entity
+// similarity (Eq. 3.4, 3.6).
+package textstat
+
+import "math"
+
+// IDF returns the inverse document frequency log2(n/df) of Eq. 3.5.
+// A zero document frequency yields 0 (the term is unknown, not infinitely
+// specific — unknown terms carry no evidence).
+func IDF(n, df float64) float64 {
+	if df <= 0 || n <= 0 {
+		return 0
+	}
+	v := math.Log2(n / df)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// NPMI computes normalized pointwise mutual information (Eq. 3.1/3.2):
+//
+//	npmi = pmi(e,k) / -log p(e,k),  pmi = log(p(e,k)/(p(e)p(k)))
+//
+// Inputs are probabilities in (0,1]. Degenerate inputs yield 0.
+func NPMI(pJoint, pE, pK float64) float64 {
+	if pJoint <= 0 || pE <= 0 || pK <= 0 {
+		return 0
+	}
+	if pJoint >= 1 {
+		return 1
+	}
+	pmi := math.Log(pJoint / (pE * pK))
+	return pmi / -math.Log(pJoint)
+}
+
+// ContingencyMI computes the µ weight of Eq. 4.1 — normalized mutual
+// information between two binary events — from the joint occurrence counts
+// of the 2×2 contingency table:
+//
+//	n11: both occur, n10: only the first, n01: only the second, n00: neither.
+//
+// The result is in [0,1]: 1 for identical events, 0 for independent ones.
+func ContingencyMI(n11, n10, n01, n00 float64) float64 {
+	n := n11 + n10 + n01 + n00
+	if n <= 0 {
+		return 0
+	}
+	pe := (n11 + n10) / n
+	pt := (n11 + n01) / n
+	he := binaryEntropy(pe)
+	ht := binaryEntropy(pt)
+	if he+ht == 0 {
+		return 0
+	}
+	het := 0.0
+	for _, p := range []float64{n11 / n, n10 / n, n01 / n, n00 / n} {
+		het += plogp(p)
+	}
+	mu := 2 * (he + ht - het) / (he + ht)
+	if mu < 0 {
+		return 0
+	}
+	if mu > 1 {
+		return 1
+	}
+	return mu
+}
+
+func binaryEntropy(p float64) float64 { return plogp(p) + plogp(1-p) }
+
+func plogp(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return -p * math.Log2(p)
+}

@@ -1,0 +1,48 @@
+package tokenizer
+
+// stopwords is a compact news-English stopword list. AIDA drops stopwords
+// from mention contexts before matching entity keyphrases (Sec. 3.3.4).
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "and": true, "or": true, "but": true,
+	"if": true, "then": true, "else": true, "when": true, "while": true,
+	"at": true, "by": true, "for": true, "from": true, "in": true,
+	"into": true, "of": true, "on": true, "onto": true, "to": true,
+	"with": true, "without": true, "about": true, "against": true,
+	"between": true, "through": true, "during": true, "before": true,
+	"after": true, "above": true, "below": true, "over": true, "under": true,
+	"again": true, "further": true, "once": true, "here": true, "there": true,
+	"all": true, "any": true, "both": true, "each": true, "few": true,
+	"more": true, "most": true, "other": true, "some": true, "such": true,
+	"no": true, "nor": true, "not": true, "only": true, "own": true,
+	"same": true, "so": true, "than": true, "too": true, "very": true,
+	"can": true, "will": true, "just": true, "should": true, "now": true,
+	"i": true, "me": true, "my": true, "we": true, "our": true, "you": true,
+	"your": true, "he": true, "him": true, "his": true, "she": true,
+	"her": true, "it": true, "its": true, "they": true, "them": true,
+	"their": true, "what": true, "which": true, "who": true, "whom": true,
+	"this": true, "that": true, "these": true, "those": true, "am": true,
+	"is": true, "are": true, "was": true, "were": true, "be": true,
+	"been": true, "being": true, "have": true, "has": true, "had": true,
+	"having": true, "do": true, "does": true, "did": true, "doing": true,
+	"would": true, "could": true, "ought": true, "as": true, "until": true,
+	"because": true, "up": true, "down": true, "out": true, "off": true,
+	"said": true, "says": true, "also": true, "one": true, "two": true,
+	"new": true, "first": true, "last": true, "many": true, "much": true,
+}
+
+// IsStopword reports whether the lower-cased form of s is a stopword.
+func IsStopword(s string) bool { return stopwords[Normalize(s)] }
+
+// ContentWords filters the lower-cased word tokens of text down to
+// non-stopword content words — the bag-of-words mention context of
+// Section 3.3.4.
+func ContentWords(text string) []string {
+	words := Words(text)
+	out := words[:0]
+	for _, w := range words {
+		if !stopwords[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,362 @@
+package wiki
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"aida/internal/kb"
+)
+
+// GoldMention is a mention with its ground-truth annotation.
+type GoldMention struct {
+	Surface string
+	// Entity is the true entity, or kb.NoEntity for out-of-KB mentions.
+	Entity kb.EntityID
+	// OOEName identifies the emerging entity for OOE mentions (TAC-style
+	// NIL clustering key); empty for in-KB mentions.
+	OOEName string
+}
+
+// Document is an annotated synthetic document.
+type Document struct {
+	ID       string
+	Day      int // news-stream day (0 for timeless corpora)
+	Text     string
+	Mentions []GoldMention
+}
+
+// Surfaces returns the mention surfaces in document order.
+func (d *Document) Surfaces() []string {
+	out := make([]string, len(d.Mentions))
+	for i, m := range d.Mentions {
+		out[i] = m.Surface
+	}
+	return out
+}
+
+// CorpusSpec shapes a generated corpus.
+type CorpusSpec struct {
+	Docs                     int
+	Seed                     int64
+	MinMentions, MaxMentions int
+	// OOERate is the fraction of mentions whose entity is out-of-KB
+	// (CoNLL-YAGO has ≈20%, Table 3.1).
+	OOERate float64
+	// AmbiguousSurfaceRate is the probability of referring to an entity by
+	// a short ambiguous alias instead of its canonical name.
+	AmbiguousSurfaceRate float64
+	// LongTailBias > 0 skews entity selection toward unpopular entities
+	// (used for the KORE50-style hard split).
+	LongTailBias float64
+	// ContextRichness is the number of keyphrase-derived context words
+	// emitted per mention (higher = easier for similarity).
+	ContextRichness int
+	// ConfusionRate is the probability that a context phrase is drawn
+	// from a *different* candidate entity of the same surface — the
+	// misleading-context effect (metonymy, topic drift) that defeats
+	// purely local similarity and makes coherence necessary (Sec. 3.1).
+	ConfusionRate float64
+	// Clusters is the number of topical clusters blended per document;
+	// 1 yields maximally coherent documents.
+	Clusters int
+}
+
+// CoNLLSpec mirrors the geometry of the CoNLL-YAGO corpus (Table 3.1):
+// news-wire articles averaging ≈25 mentions with ≈20% out-of-KB mentions.
+func CoNLLSpec(docs int, seed int64) CorpusSpec {
+	return CorpusSpec{
+		Docs: docs, Seed: seed,
+		MinMentions: 12, MaxMentions: 32,
+		OOERate:              0.2,
+		AmbiguousSurfaceRate: 0.45,
+		ContextRichness:      4,
+		ConfusionRate:        0.35,
+		Clusters:             2,
+	}
+}
+
+// HardSpec mirrors KORE50 (Sec. 4.6.1): very short contexts, ≈3 highly
+// ambiguous mentions per sentence, long-tail true entities.
+func HardSpec(docs int, seed int64) CorpusSpec {
+	return CorpusSpec{
+		Docs: docs, Seed: seed,
+		MinMentions: 3, MaxMentions: 4,
+		OOERate:              0,
+		AmbiguousSurfaceRate: 1.0,
+		LongTailBias:         1.5,
+		ContextRichness:      2,
+		ConfusionRate:        0.25,
+		Clusters:             1,
+	}
+}
+
+// WPSpec mirrors the WP heavy-metal slice (Sec. 4.6.1): single-cluster
+// sentences with family-name-only person mentions.
+func WPSpec(docs int, seed int64) CorpusSpec {
+	return CorpusSpec{
+		Docs: docs, Seed: seed,
+		MinMentions: 4, MaxMentions: 7,
+		OOERate:              0,
+		AmbiguousSurfaceRate: 1.0,
+		ContextRichness:      4,
+		ConfusionRate:        0.25,
+		Clusters:             1,
+	}
+}
+
+// GenerateCorpus produces an annotated corpus per the spec.
+func (w *World) GenerateCorpus(spec CorpusSpec) []Document {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	docs := make([]Document, 0, spec.Docs)
+	for d := 0; d < spec.Docs; d++ {
+		docs = append(docs, w.composeDoc(rng, spec, fmt.Sprintf("doc-%d", d), 0, nil))
+	}
+	return docs
+}
+
+// composeDoc builds one document: it picks coherent clusters, samples
+// entities, and emits sentences of keyphrase-derived context around the
+// mention surfaces. ooePool, when non-nil, supplies the emerging entities
+// eligible for OOE mentions (news stream); otherwise OOE mentions draw from
+// the world's OOE population.
+func (w *World) composeDoc(rng *rand.Rand, spec CorpusSpec, id string, day int, ooePool []int) Document {
+	nClusters := spec.Clusters
+	if nClusters <= 0 {
+		nClusters = 1
+	}
+	// Pick a domain, then clusters within it: documents are coherent.
+	domain := Domains()[rng.Intn(len(Domains()))]
+	clusterIdx := w.domainClusters(domain)
+	chosen := make([]int, 0, nClusters)
+	for len(chosen) < nClusters {
+		chosen = append(chosen, clusterIdx[rng.Intn(len(clusterIdx))])
+	}
+
+	nMentions := spec.MinMentions
+	if spec.MaxMentions > spec.MinMentions {
+		nMentions += rng.Intn(spec.MaxMentions - spec.MinMentions + 1)
+	}
+
+	var sb strings.Builder
+	var mentions []GoldMention
+	for mi := 0; mi < nMentions; mi++ {
+		if rng.Float64() < spec.OOERate && (ooePool != nil || len(w.OOE) > 0) {
+			gm, sentence := w.ooeMention(rng, spec, day, ooePool)
+			if gm.Surface != "" {
+				mentions = append(mentions, gm)
+				sb.WriteString(sentence)
+				continue
+			}
+		}
+		cl := chosen[rng.Intn(len(chosen))]
+		ent := w.sampleMember(rng, cl, spec.LongTailBias)
+		gm, sentence := w.entityMention(rng, spec, ent)
+		mentions = append(mentions, gm)
+		sb.WriteString(sentence)
+	}
+	return Document{ID: id, Day: day, Text: sb.String(), Mentions: mentions}
+}
+
+// domainClusters lists cluster indices of a domain.
+func (w *World) domainClusters(domain string) []int {
+	var idx []int
+	for i, c := range w.clusters {
+		if c.Domain == domain && len(c.Members) > 0 {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 { // degenerate tiny worlds: fall back to any cluster
+		for i, c := range w.clusters {
+			if len(c.Members) > 0 {
+				idx = append(idx, i)
+			}
+		}
+	}
+	return idx
+}
+
+// sampleMember draws a cluster member; bias > 0 skews toward the long tail
+// (low popularity).
+func (w *World) sampleMember(rng *rand.Rand, cl int, bias float64) kb.EntityID {
+	members := w.clusters[cl].Members
+	if len(members) == 1 {
+		return members[0]
+	}
+	if bias <= 0 {
+		// Popularity-weighted sampling.
+		var total float64
+		for _, id := range members {
+			total += w.meta[id].Popularity
+		}
+		x := rng.Float64() * total
+		for _, id := range members {
+			x -= w.meta[id].Popularity
+			if x <= 0 {
+				return id
+			}
+		}
+		return members[len(members)-1]
+	}
+	// Inverse-popularity sampling for the hard split.
+	var total float64
+	for _, id := range members {
+		total += 1 / (w.meta[id].Popularity + 1e-6)
+	}
+	x := rng.Float64() * total
+	for _, id := range members {
+		x -= 1 / (w.meta[id].Popularity + 1e-6)
+		if x <= 0 {
+			return id
+		}
+	}
+	return members[len(members)-1]
+}
+
+// entityMention emits the gold mention and a sentence for an in-KB entity.
+// With probability ConfusionRate a context phrase is sampled from another
+// candidate of the same surface instead of the true entity, simulating the
+// misleading local contexts (metonymy, topic mixing) that defeat local
+// similarity.
+func (w *World) entityMention(rng *rand.Rand, spec CorpusSpec, ent kb.EntityID) (GoldMention, string) {
+	m := &w.meta[ent]
+	surface := w.displaySurface(m.Names[0])
+	if len(m.Names) > 1 && rng.Float64() < spec.AmbiguousSurfaceRate {
+		surface = m.Names[1+rng.Intn(len(m.Names)-1)]
+	}
+	kps := w.KB.Entity(ent).Keyphrases
+	confusers := w.confuserPhrases(surface, ent)
+	ctx := w.contextWords(rng, spec.ContextRichness, func() string {
+		if len(confusers) > 0 && rng.Float64() < spec.ConfusionRate {
+			return confusers[rng.Intn(len(confusers))]
+		}
+		if len(kps) == 0 {
+			return fillerWords[rng.Intn(len(fillerWords))]
+		}
+		return kps[rng.Intn(len(kps))].Phrase
+	})
+	return GoldMention{Surface: surface, Entity: ent}, sentence(rng, surface, ctx)
+}
+
+// displaySurface renders a canonical name the way running text writes it:
+// without the Wikipedia-style parenthetical disambiguator ("Kashmir (song)"
+// appears as "Kashmir"). Falls back to the canonical form when the base
+// name is not a dictionary entry.
+func (w *World) displaySurface(canonical string) string {
+	base, _, found := strings.Cut(canonical, " (")
+	if !found {
+		return canonical
+	}
+	if w.KB.HasName(kb.NormalizeName(base)) {
+		return base
+	}
+	return canonical
+}
+
+// confuserPhrases gathers keyphrases of the other candidate entities of a
+// surface (the misleading evidence pool).
+func (w *World) confuserPhrases(surface string, ent kb.EntityID) []string {
+	var out []string
+	for _, c := range w.KB.Candidates(surface) {
+		if c.Entity == ent {
+			continue
+		}
+		for _, kp := range w.KB.Entity(c.Entity).Keyphrases {
+			out = append(out, kp.Phrase)
+		}
+	}
+	return out
+}
+
+// ooeMention emits a gold mention for an out-of-KB entity. ooePool, when
+// non-nil, restricts eligible OOE indices (news stream day gating).
+func (w *World) ooeMention(rng *rand.Rand, spec CorpusSpec, day int, ooePool []int) (GoldMention, string) {
+	var pool []int
+	if ooePool != nil {
+		pool = ooePool
+	} else {
+		pool = make([]int, len(w.OOE))
+		for i := range w.OOE {
+			pool[i] = i
+		}
+	}
+	if len(pool) == 0 {
+		return GoldMention{}, ""
+	}
+	o := &w.OOE[pool[rng.Intn(len(pool))]]
+	ctx := w.contextWords(rng, spec.ContextRichness, func() string {
+		return o.Keyphrases[rng.Intn(len(o.Keyphrases))]
+	})
+	gm := GoldMention{Surface: o.Surface, Entity: kb.NoEntity, OOEName: o.Name}
+	return gm, sentence(rng, o.Surface, ctx)
+}
+
+// contextWords draws n context phrases via next() and mixes in filler.
+func (w *World) contextWords(rng *rand.Rand, n int, next func() string) []string {
+	if n <= 0 {
+		n = 3
+	}
+	out := make([]string, 0, n+2)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.3 {
+			out = append(out, fillerWords[rng.Intn(len(fillerWords))])
+		} else {
+			out = append(out, next())
+		}
+	}
+	return out
+}
+
+// sentence renders one sentence with the mention surface embedded in its
+// context phrases. Phrases are comma-separated so that phrase boundaries
+// survive part-of-speech keyphrase extraction, as they do in real prose.
+func sentence(rng *rand.Rand, surface string, ctx []string) string {
+	cut := 0
+	if len(ctx) > 0 {
+		cut = rng.Intn(len(ctx) + 1)
+	}
+	parts := make([]string, 0, len(ctx)+2)
+	parts = append(parts, ctx[:cut]...)
+	parts = append(parts, surface)
+	parts = append(parts, ctx[cut:]...)
+	return strings.Join(parts, ", ") + ". "
+}
+
+// CorpusStats summarizes a corpus the way Table 3.1 does.
+type CorpusStats struct {
+	Docs                    int
+	Mentions                int
+	MentionsNoEntity        int
+	AvgWordsPerDoc          float64
+	AvgMentionsPerDoc       float64
+	AvgCandidatesPerMention float64
+}
+
+// Stats computes Table 3.1-style properties of a corpus against the KB.
+func (w *World) Stats(docs []Document) CorpusStats {
+	var s CorpusStats
+	s.Docs = len(docs)
+	var words, cands, withCands int
+	for i := range docs {
+		d := &docs[i]
+		words += len(strings.Fields(d.Text))
+		s.Mentions += len(d.Mentions)
+		for _, m := range d.Mentions {
+			if m.Entity == kb.NoEntity {
+				s.MentionsNoEntity++
+			}
+			if cs := w.KB.Candidates(m.Surface); len(cs) > 0 {
+				cands += len(cs)
+				withCands++
+			}
+		}
+	}
+	if s.Docs > 0 {
+		s.AvgWordsPerDoc = float64(words) / float64(s.Docs)
+		s.AvgMentionsPerDoc = float64(s.Mentions) / float64(s.Docs)
+	}
+	if withCands > 0 {
+		s.AvgCandidatesPerMention = float64(cands) / float64(withCands)
+	}
+	return s
+}

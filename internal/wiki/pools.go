@@ -1,0 +1,161 @@
+package wiki
+
+// Word pools for the synthetic world. Deliberately sized so that surname,
+// place and work-title collisions arise at rates comparable to the name
+// ambiguity AIDA faces on Wikipedia-derived dictionaries: the surname pool
+// is much smaller than the number of generated persons, and work titles are
+// drawn from the same pool as place names (the "Kashmir" effect).
+
+var givenNames = []string{
+	"James", "Maria", "Robert", "Elena", "Thomas", "Ana", "Viktor", "Laura",
+	"Pedro", "Ingrid", "Akira", "Fatima", "Dmitri", "Chloe", "Rafael",
+	"Yuki", "Omar", "Greta", "Marco", "Priya", "Sven", "Nadia", "Carlos",
+	"Astrid", "Hugo", "Mei", "Jonas", "Leila", "Felix", "Tara",
+}
+
+var surnames = []string{
+	"Carter", "Dylan", "Page", "Plant", "Reich", "Novak", "Okafor", "Silva",
+	"Marlow", "Keller", "Ivanov", "Haas", "Moreau", "Tanaka", "Lindgren",
+	"Costa", "Weber", "Duran", "Falk", "Mercer", "Quinn", "Sato", "Vance",
+	"Holm", "Petrov", "Ardila", "Brandt", "Calloway", "Drummond", "Eklund",
+	"Ferrand", "Gruber", "Hollis", "Iwata", "Jansen",
+}
+
+var placeNames = []string{
+	"Kashmir", "Aveiro", "Brunswick", "Caldera", "Dunmore", "Eldoria",
+	"Farrow", "Grenholm", "Harlan", "Isfjord", "Jubilee", "Kestrel",
+	"Lorimer", "Medina", "Norwood", "Ostia", "Pinehurst", "Quarry",
+	"Redgate", "Solvang", "Tremont", "Umbria", "Valmont", "Westbrook",
+	"Yarrow", "Zephyr", "Alderton", "Birchwood", "Corinth", "Delmar",
+}
+
+var orgWords = []string{
+	"Dynamics", "Systems", "Holdings", "Industries", "Partners", "Capital",
+	"Networks", "Logistics", "Biotech", "Analytics", "Motors", "Energy",
+	"Robotics", "Mining", "Shipping", "Aerospace", "Pharma", "Textiles",
+}
+
+var orgPrefixes = []string{
+	"Apex", "Borealis", "Cobalt", "Crestline", "Meridian", "Northfield",
+	"Oakline", "Pinnacle", "Quanta", "Sterling", "Vertex", "Zenith",
+	"Atlas", "Corona", "Helix", "Ionis", "Krypton", "Lumen",
+}
+
+var teamWords = []string{
+	"United", "Rovers", "Wanderers", "Athletic", "Dynamo", "Rangers",
+	"Falcons", "Mariners", "Wolves", "Comets",
+}
+
+// Domain vocabulary used for keyphrases and context filler.
+var domainWords = map[string][]string{
+	"music": {
+		"guitarist", "album", "song", "tour", "band", "concert", "singer",
+		"record", "chords", "studio", "acoustic", "drummer", "vocals",
+		"bassist", "melody", "lyrics", "stage", "encore", "riff", "ballad",
+	},
+	"sports": {
+		"match", "season", "goal", "striker", "coach", "league", "stadium",
+		"defender", "tournament", "transfer", "penalty", "midfielder",
+		"championship", "fixture", "squad", "keeper", "title", "friendly",
+		"cup", "derby",
+	},
+	"politics": {
+		"minister", "parliament", "election", "treaty", "summit", "policy",
+		"senator", "cabinet", "reform", "coalition", "ambassador", "vote",
+		"legislation", "diplomat", "campaign", "referendum", "sanctions",
+		"delegation", "congress", "bill",
+	},
+	"business": {
+		"merger", "shares", "quarterly", "revenue", "startup", "investor",
+		"acquisition", "market", "profit", "dividend", "earnings", "stock",
+		"valuation", "venture", "portfolio", "stake", "ipo", "forecast",
+		"chairman", "executive",
+	},
+	"tech": {
+		"software", "algorithm", "platform", "startup", "processor",
+		"database", "encryption", "browser", "server", "protocol", "cloud",
+		"compiler", "interface", "network", "silicon", "chipset", "kernel",
+		"api", "framework", "device",
+	},
+	"geography": {
+		"valley", "river", "mountain", "province", "border", "region",
+		"coast", "plateau", "glacier", "harbor", "peninsula", "delta",
+		"highlands", "basin", "territory", "canyon", "lagoon", "steppe",
+		"archipelago", "fjord",
+	},
+	"science": {
+		"quantum", "particle", "genome", "telescope", "laboratory",
+		"experiment", "theorem", "enzyme", "neutrino", "catalyst",
+		"molecule", "reactor", "spectrum", "antibody", "isotope", "fossil",
+		"climate", "synthesis", "orbital", "plasma",
+	},
+	"entertainment": {
+		"film", "director", "premiere", "actress", "screenplay", "festival",
+		"drama", "comedy", "producer", "trailer", "casting", "cinema",
+		"sequel", "documentary", "studio", "script", "award", "critics",
+		"boxoffice", "scene",
+	},
+}
+
+// fillerWords pad document sentences with non-evidence tokens.
+var fillerWords = []string{
+	"yesterday", "reported", "officials", "statement", "sources",
+	"according", "announced", "expected", "following", "recent",
+	"meanwhile", "despite", "however", "several", "continued", "later",
+	"earlier", "decision", "plans", "weekend", "monday", "friday",
+	"confirmed", "spokesman", "press", "interview", "talks", "meeting",
+}
+
+// adjectivePool builds entity-unique keyphrases.
+var adjectivePool = []string{
+	"veteran", "legendary", "rising", "acclaimed", "controversial",
+	"influential", "outspoken", "reclusive", "prolific", "celebrated",
+	"embattled", "seasoned", "maverick", "pioneering", "renowned",
+}
+
+// Domains lists the topical domains of the synthetic world.
+func Domains() []string {
+	return []string{"music", "sports", "politics", "business", "tech", "geography", "science", "entertainment"}
+}
+
+// Jargon words give clusters, entities, emerging entities and news events
+// distinctive vocabulary, the way real keyphrases carry rare terms
+// ("Murrayfield", "Chun Kuk Do"). They are composed deterministically from
+// syllable tables so the pool is large (thousands) without hand-writing it.
+var (
+	jargonOnsets = []string{
+		"bar", "cor", "del", "fen", "gor", "hul", "jin", "kel", "lor", "mar",
+		"nev", "ost", "pral", "quin", "rud", "sel", "tor", "ulm", "ver", "wex",
+	}
+	jargonCodas = []string{
+		"ace", "bury", "dale", "fax", "gate", "holm", "ine", "kov", "lund",
+		"mont", "nor", "ova", "pex", "quist", "rath", "sen", "tide", "urn",
+		"vale", "wick",
+	}
+	jargonMids = []string{"a", "e", "i", "o", "u", "ar", "en", "il", "or", "un"}
+)
+
+// jargonWord maps an index to a unique pseudo-word. Indices below 400 use
+// onset+coda; up to 4000 add a mid syllable; beyond that a numeric suffix
+// keeps words unique.
+func jargonWord(i int) string {
+	if i < 0 {
+		i = -i
+	}
+	w := jargonOnsets[i%len(jargonOnsets)] + jargonCodas[(i/20)%len(jargonCodas)]
+	if k := (i / 400) % 10; i >= 400 {
+		w += jargonMids[k]
+	}
+	if i >= 4000 {
+		w += string(rune('a' + (i/4000)%26))
+	}
+	return w
+}
+
+// Jargon index ranges per use, kept disjoint so vocabularies never alias.
+const (
+	jargonClusterBase = 0     // 4 words per cluster
+	jargonOOEBase     = 2000  // 3 words per emerging entity
+	jargonEventBase   = 8000  // 1 word per day-event phrase
+	jargonEntityBase  = 20000 // 2 words per KB entity
+)

@@ -2,12 +2,16 @@ package aida
 
 import (
 	"io"
+	"iter"
+	"runtime"
+	"sync"
 
 	"aida/internal/disambig"
 	"aida/internal/emerge"
 	"aida/internal/kb"
 	"aida/internal/nec"
 	"aida/internal/ner"
+	"aida/internal/pool"
 	"aida/internal/relatedness"
 )
 
@@ -41,6 +45,11 @@ type (
 	MentionSpan = ner.Mention
 	// RelatednessKind selects an entity-relatedness measure.
 	RelatednessKind = relatedness.Kind
+	// Scorer is the long-lived, concurrency-safe scoring engine bound to a
+	// KB: it interns entity profiles, memoizes pairwise relatedness across
+	// documents for all measure kinds, and builds each LSH filter once.
+	// Every System holds one; see (*System).Scorer.
+	Scorer = relatedness.Scorer
 	// Discoverer performs emerging-entity discovery (Algorithm 3).
 	Discoverer = emerge.Discoverer
 	// Harvester mines keyphrases around name occurrences.
@@ -118,6 +127,7 @@ type System struct {
 	ExpandSurfaces bool
 
 	recognizer ner.Recognizer
+	engine     *relatedness.Scorer
 }
 
 // Option configures a System.
@@ -136,7 +146,7 @@ func WithSurfaceExpansion() Option { return func(s *System) { s.ExpandSurfaces =
 
 // New creates a System over the knowledge base.
 func New(k *KB, opts ...Option) *System {
-	s := &System{KB: k, Method: disambig.NewAIDA()}
+	s := &System{KB: k, Method: disambig.NewAIDA(), engine: relatedness.NewScorer(k)}
 	s.recognizer.Lexicon = k
 	for _, o := range opts {
 		o(s)
@@ -144,18 +154,26 @@ func New(k *KB, opts ...Option) *System {
 	return s
 }
 
+// Scorer returns the system's shared scoring engine. It accumulates
+// interned profiles and memoized pair scores across every document the
+// system annotates; all its methods are safe for concurrent use.
+func (s *System) Scorer() *Scorer { return s.engine }
+
 // Recognize runs named entity recognition only.
 func (s *System) Recognize(text string) []MentionSpan {
 	return s.recognizer.Recognize(text)
 }
 
 // NewProblem builds a disambiguation problem for pre-recognized mention
-// surfaces.
+// surfaces. The problem shares the system's scoring engine, so coherence
+// values for KB-entity pairs are memoized across documents.
 func (s *System) NewProblem(text string, surfaces []string) *Problem {
 	if s.ExpandSurfaces {
 		surfaces = disambig.ExpandSurfaces(s.KB, surfaces)
 	}
-	return disambig.NewProblem(s.KB, text, surfaces, s.MaxCandidates)
+	p := disambig.NewProblem(s.KB, text, surfaces, s.MaxCandidates)
+	p.Scorer = s.engine
+	return p
 }
 
 // Disambiguate links pre-recognized mention surfaces in the text.
@@ -165,12 +183,23 @@ func (s *System) Disambiguate(text string, surfaces []string) *Output {
 
 // Annotate runs the full pipeline: recognition plus disambiguation.
 func (s *System) Annotate(text string) []Annotation {
+	return s.annotate(text, 0)
+}
+
+// annotate is Annotate with an explicit coherence-pool override:
+// coherenceWorkers = 1 pins per-document scoring to one goroutine (used
+// under document-level fan-out, where parallelism comes from the batch
+// pool), 0 keeps the method's own default. The override never changes
+// results, only scheduling.
+func (s *System) annotate(text string, coherenceWorkers int) []Annotation {
 	mentions := s.recognizer.Recognize(text)
 	surfaces := make([]string, len(mentions))
 	for i, m := range mentions {
 		surfaces[i] = m.Text
 	}
-	out := s.Disambiguate(text, surfaces)
+	p := s.NewProblem(text, surfaces)
+	p.CoherenceWorkers = coherenceWorkers
+	out := s.Method.Disambiguate(p)
 	anns := make([]Annotation, len(mentions))
 	for i, m := range mentions {
 		r := out.Results[i]
@@ -179,10 +208,131 @@ func (s *System) Annotate(text string) []Annotation {
 	return anns
 }
 
+// AnnotateBatch annotates documents concurrently with a bounded worker
+// pool (parallelism ≤ 0 means GOMAXPROCS) and returns the annotations in
+// input order. The output is byte-identical to calling Annotate on each
+// document sequentially: documents are independent, and the shared engine
+// only memoizes values that are pure functions of the KB.
+func (s *System) AnnotateBatch(docs []string, parallelism int) [][]Annotation {
+	out := make([][]Annotation, len(docs))
+	workers := batchWorkers(parallelism, len(docs))
+	if workers <= 1 {
+		for i, d := range docs {
+			out[i] = s.Annotate(d)
+		}
+		return out
+	}
+	// Parallelism comes from the document pool; pin each document's
+	// coherence scoring to one goroutine so a P-worker batch schedules P
+	// goroutines, not P².
+	pool.ForEach(len(docs), workers, func(i int) {
+		out[i] = s.annotate(docs[i], 1)
+	})
+	return out
+}
+
+// AnnotateAll streams annotations for an arbitrary document sequence:
+// documents are fanned out to a bounded worker pool (parallelism ≤ 0 means
+// GOMAXPROCS) while results are yielded strictly in input order, each as
+// soon as it and all its predecessors are done. Breaking out of the range
+// loop stops the workers. Memory stays bounded by the worker count rather
+// than the corpus size, so it suits indefinite feeds (news streams, queue
+// consumers); for in-memory slices AnnotateBatch is simpler.
+func (s *System) AnnotateAll(docs iter.Seq[string], parallelism int) iter.Seq2[int, []Annotation] {
+	return func(yield func(int, []Annotation) bool) {
+		workers := batchWorkers(parallelism, -1)
+		if workers <= 1 {
+			i := 0
+			for d := range docs {
+				if !yield(i, s.Annotate(d)) {
+					return
+				}
+				i++
+			}
+			return
+		}
+		type job struct {
+			i    int
+			text string
+		}
+		type res struct {
+			i    int
+			anns []Annotation
+		}
+		stop := make(chan struct{})
+		defer close(stop)
+		jobs := make(chan job, workers)
+		results := make(chan res, workers)
+		go func() { // producer
+			defer close(jobs)
+			i := 0
+			for d := range docs {
+				select {
+				case jobs <- job{i: i, text: d}:
+					i++
+				case <-stop:
+					return
+				}
+			}
+		}()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					select {
+					case results <- res{i: j.i, anns: s.annotate(j.text, 1)}:
+					case <-stop:
+						return
+					}
+				}
+			}()
+		}
+		go func() {
+			wg.Wait()
+			close(results)
+		}()
+		// Reorder: emit document i only after 0..i-1 have been emitted.
+		// annotate always returns a non-nil slice, so presence in pending
+		// is enough to mark a document done.
+		pending := make(map[int][]Annotation, workers)
+		next := 0
+		for r := range results {
+			pending[r.i] = r.anns
+			for {
+				anns, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				if !yield(next, anns) {
+					return
+				}
+				next++
+			}
+		}
+	}
+}
+
+// batchWorkers resolves the worker count for a document fan-out; n < 0
+// means the document count is unknown (streaming).
+func batchWorkers(parallelism, n int) int {
+	w := parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n >= 0 && w > n {
+		w = n
+	}
+	return w
+}
+
 // Relatedness computes the semantic relatedness of two KB entities under
-// the given measure.
+// the given measure, memoized by the system's shared engine (profiles and
+// LSH filters are built once per KB, not per call).
 func (s *System) Relatedness(kind RelatednessKind, a, b EntityID) float64 {
-	return relatedness.NewMeasure(kind, s.KB).Relatedness(a, b)
+	return s.engine.Relatedness(kind, a, b)
 }
 
 // Confidence estimates per-mention disambiguation confidence with the CONF
@@ -201,6 +351,8 @@ func (s *System) DiscoverEmerging(text string, surfaces []string, corpus []strin
 		KB:            s.KB,
 		Method:        s.Method,
 		MaxCandidates: s.MaxCandidates,
+		Parallelism:   runtime.GOMAXPROCS(0),
+		Scorer:        s.engine,
 	}
 	chunk := make([]emerge.ChunkDoc, len(corpus))
 	for i, c := range corpus {

@@ -1,0 +1,126 @@
+package aida
+
+import (
+	"reflect"
+	"runtime"
+	"slices"
+	"testing"
+
+	"aida/internal/wiki"
+)
+
+// batchWorld generates a small synthetic world plus a corpus of documents
+// for batch-annotation tests.
+func batchWorld(t testing.TB, docs int) (*KB, []string) {
+	t.Helper()
+	w := wiki.Generate(wiki.Config{Seed: 17, Entities: 300})
+	corpus := w.GenerateCorpus(wiki.CoNLLSpec(docs, 23))
+	texts := make([]string, len(corpus))
+	for i, d := range corpus {
+		texts[i] = d.Text
+	}
+	return w.KB, texts
+}
+
+// TestAnnotateBatchMatchesSequential is the headline determinism check:
+// AnnotateBatch at full parallelism must produce byte-identical annotations
+// to the one-document-at-a-time loop, on both a cold and a warm engine.
+func TestAnnotateBatchMatchesSequential(t *testing.T) {
+	k, docs := batchWorld(t, 12)
+
+	seq := New(k, WithMaxCandidates(10))
+	want := make([][]Annotation, len(docs))
+	for i, d := range docs {
+		want[i] = seq.Annotate(d)
+	}
+
+	for _, parallelism := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		sys := New(k, WithMaxCandidates(10))
+		cold := sys.AnnotateBatch(docs, parallelism)
+		if !reflect.DeepEqual(want, cold) {
+			t.Fatalf("parallelism=%d: cold batch diverges from sequential", parallelism)
+		}
+		warm := sys.AnnotateBatch(docs, parallelism)
+		if !reflect.DeepEqual(want, warm) {
+			t.Fatalf("parallelism=%d: warm batch diverges from sequential", parallelism)
+		}
+	}
+}
+
+// TestAnnotateBatchWarmsEngine checks that batch annotation actually fills
+// the shared engine (the cross-document reuse the engine exists for).
+func TestAnnotateBatchWarmsEngine(t *testing.T) {
+	k, docs := batchWorld(t, 8)
+	sys := New(k, WithMaxCandidates(10))
+	sys.AnnotateBatch(docs, 4)
+	_, misses1 := sys.Scorer().CacheStats()
+	if misses1 == 0 {
+		t.Fatal("expected the engine to compute pair values during batch annotation")
+	}
+	sys.AnnotateBatch(docs, 4)
+	hits2, misses2 := sys.Scorer().CacheStats()
+	if misses2 != misses1 {
+		t.Errorf("second pass over the same docs recomputed %d pairs", misses2-misses1)
+	}
+	if hits2 == 0 {
+		t.Error("second pass should hit the warm cache")
+	}
+}
+
+// TestAnnotateAllMatchesBatch checks the streaming iterator yields the
+// same annotations in order, and honors early termination.
+func TestAnnotateAllMatchesBatch(t *testing.T) {
+	k, docs := batchWorld(t, 10)
+	sys := New(k, WithMaxCandidates(10))
+	want := sys.AnnotateBatch(docs, 0)
+
+	for _, parallelism := range []int{1, 4} {
+		var got [][]Annotation
+		var order []int
+		for i, anns := range sys.AnnotateAll(slices.Values(docs), parallelism) {
+			order = append(order, i)
+			got = append(got, anns)
+		}
+		for i := range order {
+			if order[i] != i {
+				t.Fatalf("parallelism=%d: out-of-order yield %v", parallelism, order)
+			}
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("parallelism=%d: streaming output diverges from batch", parallelism)
+		}
+	}
+
+	// Early break must not deadlock or leak; we only check it stops.
+	n := 0
+	for range sys.AnnotateAll(slices.Values(docs), 4) {
+		n++
+		if n == 3 {
+			break
+		}
+	}
+	if n != 3 {
+		t.Fatalf("early break consumed %d docs", n)
+	}
+}
+
+// TestSystemRelatednessReusesEngine pins the facade Relatedness to the
+// engine (identical values across calls and to a fresh system).
+func TestSystemRelatednessReusesEngine(t *testing.T) {
+	k := demoKB()
+	sys := New(k)
+	jimmy, _ := k.EntityByName("Jimmy Page")
+	zep, _ := k.EntityByName("Led Zeppelin")
+	for _, kind := range []RelatednessKind{MW, KWCS, KPCS, KORE, KORELSHG, KORELSHF} {
+		first := sys.Relatedness(kind, jimmy, zep)
+		if again := sys.Relatedness(kind, jimmy, zep); again != first {
+			t.Fatalf("%v: memoized value drifted: %v vs %v", kind, first, again)
+		}
+		if fresh := New(k).Relatedness(kind, jimmy, zep); fresh != first {
+			t.Fatalf("%v: fresh system disagrees: %v vs %v", kind, first, fresh)
+		}
+	}
+	if hits, _ := sys.Scorer().CacheStats(); hits == 0 {
+		t.Error("repeated Relatedness calls should hit the engine cache")
+	}
+}

@@ -7,10 +7,13 @@ package aida
 // cmd/experiments prints the same rows in the paper's layout.
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
 	"aida/internal/experiments"
+	"aida/internal/wiki"
 )
 
 var (
@@ -207,5 +210,51 @@ func BenchmarkAnnotateThroughput(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sys.Annotate(text)
+	}
+}
+
+// BenchmarkAnnotateBatch tracks document-level fan-out over the shared
+// scoring engine: 1 worker vs GOMAXPROCS, cold engine vs warm. The
+// warm/1-vs-N pair is the PR's acceptance metric (≥ 2× throughput); the
+// cold/warm pair isolates what cross-document memoization is worth.
+func BenchmarkAnnotateBatch(b *testing.B) {
+	s := benchSuite()
+	docs := make([]string, 32)
+	for i, d := range s.World.GenerateCorpus(wiki.CoNLLSpec(len(docs), 123)) {
+		docs[i] = d.Text
+	}
+	maxWorkers := runtime.GOMAXPROCS(0)
+	if maxWorkers < 2 {
+		maxWorkers = 2 // exercise the pool even on a single-CPU host
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+		warm    bool
+	}{
+		{"cold/workers=1", 1, false},
+		{fmt.Sprintf("cold/workers=%d", maxWorkers), maxWorkers, false},
+		{"warm/workers=1", 1, true},
+		{fmt.Sprintf("warm/workers=%d", maxWorkers), maxWorkers, true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			sys := New(s.World.KB, WithMaxCandidates(10))
+			if bc.warm {
+				sys.AnnotateBatch(docs, maxWorkers) // fill the engine caches
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sys.AnnotateBatch(docs, bc.workers)
+				}
+			} else {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					sys = New(s.World.KB, WithMaxCandidates(10)) // fresh engine
+					b.StartTimer()
+					sys.AnnotateBatch(docs, bc.workers)
+				}
+			}
+			b.ReportMetric(float64(len(docs))*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+		})
 	}
 }

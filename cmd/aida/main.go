@@ -5,11 +5,17 @@
 //
 //	aida -kb kb.gob "They performed Kashmir, written by Page and Plant."
 //	echo "text" | aida -gen 2000 -seed 7
+//	aida -gen 2000 -batch -j 8 < corpus.txt
 //
 // With -kb a snapshot written by cmd/benchgen (or (*aida.KB).Save) is used;
 // with -gen a synthetic world of the given size is generated on the fly.
 // Mentions are recognized automatically unless -mentions supplies a
 // comma-separated list of surfaces.
+//
+// With -batch the input (stdin or a file named by -in) is treated as
+// multiple documents separated by blank lines; documents are annotated
+// concurrently by -j workers over the system's shared scoring engine and
+// printed in input order.
 package main
 
 import (
@@ -33,6 +39,9 @@ func main() {
 		seed     = flag.Int64("seed", 42, "seed for -gen")
 		mentions = flag.String("mentions", "", "comma-separated mention surfaces (skip NER)")
 		method   = flag.String("method", "aida", "method: aida, prior, sim, cuc, kul-ci, tagme, iw")
+		batch    = flag.Bool("batch", false, "treat input as blank-line-separated documents")
+		inPath   = flag.String("in", "", "read input from this file instead of args/stdin")
+		workers  = flag.Int("j", 0, "annotation parallelism for -batch (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -40,12 +49,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	text, err := inputText(flag.Args())
+	text, err := inputText(flag.Args(), *inPath)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	sys := aida.New(k, aida.WithMethod(methodFor(*method)), aida.WithMaxCandidates(20))
+	if *batch {
+		if *mentions != "" {
+			log.Fatal("-batch recognizes mentions automatically; drop -mentions")
+		}
+		docs := splitDocs(text)
+		if len(docs) == 0 {
+			log.Fatal("no documents in batch input")
+		}
+		for i, anns := range sys.AnnotateBatch(docs, *workers) {
+			fmt.Printf("# doc %d (%d mentions)\n", i+1, len(anns))
+			for _, a := range anns {
+				printResult(a.Mention.Text, a.Label, a.Entity, a.Score)
+			}
+		}
+		return
+	}
 	if *mentions != "" {
 		surfaces := strings.Split(*mentions, ",")
 		for i := range surfaces {
@@ -78,7 +103,20 @@ func loadKB(path string, gen int, seed int64) (*aida.KB, error) {
 	}
 }
 
-func inputText(args []string) (string, error) {
+func inputText(args []string, inPath string) (string, error) {
+	if inPath != "" {
+		if len(args) > 0 {
+			return "", fmt.Errorf("pass text either via -in or as arguments, not both")
+		}
+		data, err := os.ReadFile(inPath)
+		if err != nil {
+			return "", err
+		}
+		if len(data) == 0 {
+			return "", fmt.Errorf("input file %s is empty", inPath)
+		}
+		return string(data), nil
+	}
 	if len(args) > 0 {
 		return strings.Join(args, " "), nil
 	}
@@ -87,9 +125,30 @@ func inputText(args []string) (string, error) {
 		return "", err
 	}
 	if len(data) == 0 {
-		return "", fmt.Errorf("no input text (pass as argument or on stdin)")
+		return "", fmt.Errorf("no input text (pass as argument, -in file, or stdin)")
 	}
 	return string(data), nil
+}
+
+// splitDocs splits batch input into documents on blank lines.
+func splitDocs(text string) []string {
+	var docs []string
+	var cur []string
+	flush := func() {
+		if len(cur) > 0 {
+			docs = append(docs, strings.Join(cur, "\n"))
+			cur = cur[:0]
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.TrimSpace(line) == "" {
+			flush()
+			continue
+		}
+		cur = append(cur, line)
+	}
+	flush()
+	return docs
 }
 
 func methodFor(name string) aida.Method {

@@ -31,7 +31,29 @@
 //		fmt.Println(a.Mention.Text, "→", a.Label)
 //	}
 //
-// See the examples directory for end-to-end programs: a quickstart, an
-// emerging-entity news pipeline, a relatedness comparison, and the
-// strings+things+cats entity search application.
+// # Scoring engine and batch annotation
+//
+// Every System holds a Scorer: a long-lived, sharded, concurrency-safe
+// engine bound to its KB that interns per-entity keyphrase profiles,
+// memoizes pairwise relatedness for all six measure kinds across
+// documents, and builds each LSH filter once. Single-document Annotate,
+// System.Relatedness, coherence scoring and the emerging-entity pipeline
+// all draw from it, so repeated candidate entities — the common case over
+// a corpus — are never re-scored.
+//
+// Corpora are annotated concurrently on top of the engine:
+//
+//	results := sys.AnnotateBatch(docs, runtime.GOMAXPROCS(0))
+//	for i, anns := range sys.AnnotateAll(docSeq, 8) { ... }
+//
+// AnnotateBatch fans a slice of documents out to a bounded worker pool;
+// AnnotateAll streams over any iter.Seq[string], yielding results in input
+// order with memory bounded by the worker count. Both are deterministic:
+// the output is byte-identical to a sequential Annotate loop at any
+// parallelism, because the engine memoizes only pure functions of the KB.
+//
+// See the examples directory for end-to-end programs: a quickstart, a
+// concurrent batch annotator, an emerging-entity news pipeline, a
+// relatedness comparison, and the strings+things+cats entity search
+// application.
 package aida

@@ -1,0 +1,3 @@
+module aida
+
+go 1.24

@@ -2,6 +2,8 @@ package disambig
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 
 	"aida/internal/graph"
 	"aida/internal/kb"
@@ -36,6 +38,11 @@ type Config struct {
 	PriorWeight float64 // default 0.566
 	Gamma       float64 // default 0.40
 
+	// Workers bounds the worker pool that scores coherence edges
+	// (0 = GOMAXPROCS, 1 = sequential). Scores, assignments and
+	// Stats.Comparisons are identical at every setting.
+	Workers int
+
 	Graph graph.Options
 }
 
@@ -65,6 +72,13 @@ func (c Config) gamma() float64 {
 		return 0.40
 	}
 	return c.Gamma
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
 }
 
 // AIDA is the dissertation's disambiguation method. Depending on the
@@ -299,14 +313,36 @@ func (a *AIDA) buildGraph(p *Problem, weights [][]float64, fixed []int, scorer *
 			}
 		}
 	}
+	// Score coherence pairs with the bounded worker pool, then accumulate
+	// edge sums in sorted pair order so the rescaling below is bit-for-bit
+	// reproducible (map iteration order never reaches a float sum).
+	pairs := make([][2]int, 0, len(pairNeeded))
+	for k := range pairNeeded {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	candPairs := make([][2]*Candidate, len(pairs))
+	for i, k := range pairs {
+		candPairs[i] = [2]*Candidate{nodeCand[k[0]], nodeCand[k[1]]}
+	}
+	workers := a.Config.workers()
+	if p.CoherenceWorkers > 0 {
+		workers = p.CoherenceWorkers
+	}
+	scorer.scoreAll(candPairs, workers)
 	var eeSum float64
 	var eeCount int
 	type eeEdge struct {
 		a, b int
 		w    float64
 	}
-	eeEdges := make([]eeEdge, 0, len(pairNeeded))
-	for k := range pairNeeded {
+	eeEdges := make([]eeEdge, 0, len(pairs))
+	for _, k := range pairs {
 		w := scorer.score(nodeCand[k[0]], nodeCand[k[1]])
 		if w <= 0 {
 			continue

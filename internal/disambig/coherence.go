@@ -1,7 +1,10 @@
 package disambig
 
 import (
+	"sync"
+
 	"aida/internal/kb"
+	"aida/internal/pool"
 	"aida/internal/relatedness"
 )
 
@@ -12,28 +15,49 @@ import (
 //
 // Coherence works on Candidate features (keyphrases, in-links) rather than
 // KB ids so that emerging-entity placeholders participate transparently.
+// When the problem carries a shared relatedness engine, pairs of candidates
+// whose features are untouched KB features are delegated to it, so their
+// values are memoized across documents; candidates with per-problem
+// features (placeholders, enriched entities) keep the local path.
+//
+// score and scoreAll are safe for concurrent use; Stats.Comparisons counts
+// each distinct allowed pair of the problem exactly once, so counts and
+// scores are identical at any parallelism and any engine-cache temperature.
 type cohScorer struct {
 	kind  relatedness.Kind
 	cands []*Candidate // distinct candidates, indexed by cid
 	byKey map[string]int
 	n     int // |E| for MW
 
-	profiles []*relatedness.Profile
-	weight   relatedness.Weighter
+	// engine is the shared cross-document scorer (nil = per-problem only);
+	// engineID[cid] is the delegable KB id, or kb.NoEntity for candidates
+	// that must be scored locally.
+	engine   *relatedness.Scorer
+	engineID []kb.EntityID
+
+	weight relatedness.Weighter
 
 	allowed map[[2]int]bool // LSH-filtered pairs; nil = all allowed
-	cache   map[[2]int]float64
-	// comparisons counts exact pairwise relatedness computations.
+
+	pmu      sync.Mutex
+	profiles []*relatedness.Profile
+
+	mu    sync.Mutex
+	cache map[[2]int]float64
+	// comparisons counts exact pairwise relatedness computations: one per
+	// distinct allowed pair requested in this problem (engine cache hits
+	// included, so the count matches the engine-free path).
 	comparisons int
 }
 
 // newCohScorer registers all distinct candidates of the problem.
 func newCohScorer(kind relatedness.Kind, p *Problem) *cohScorer {
 	s := &cohScorer{
-		kind:  kind,
-		byKey: make(map[string]int),
-		n:     p.TotalEntities,
-		cache: make(map[[2]int]float64),
+		kind:   kind,
+		byKey:  make(map[string]int),
+		n:      p.TotalEntities,
+		engine: p.Scorer,
+		cache:  make(map[[2]int]float64),
 		weight: func(w string) float64 {
 			return p.wordIDF(w)
 		},
@@ -50,7 +74,9 @@ func newCohScorer(kind relatedness.Kind, p *Problem) *cohScorer {
 	return s
 }
 
-// cid interns a candidate and returns its dense id.
+// cid interns a candidate and returns its dense id. All candidates are
+// interned during construction; concurrent score calls only take the
+// read-only fast path.
 func (s *cohScorer) cid(c *Candidate) int {
 	if id, ok := s.byKey[c.Label]; ok {
 		return id
@@ -59,14 +85,57 @@ func (s *cohScorer) cid(c *Candidate) int {
 	s.byKey[c.Label] = id
 	s.cands = append(s.cands, c)
 	s.profiles = append(s.profiles, nil)
+	s.engineID = append(s.engineID, s.delegableID(c))
 	return id
 }
 
-func (s *cohScorer) profile(id int) *relatedness.Profile {
-	if s.profiles[id] == nil {
-		s.profiles[id] = relatedness.NewProfile(s.cands[id].Keyphrases, s.weight)
+// delegableID returns the KB entity id the shared engine may score this
+// candidate under, or kb.NoEntity when the candidate carries per-problem
+// features. Delegation requires the candidate's keyphrase and in-link
+// slices to be the KB entity's own (enrichment and placeholder modeling
+// replace them, which this identity check detects); EdgeScale needs no
+// check because it is applied on top of the raw engine value.
+func (s *cohScorer) delegableID(c *Candidate) kb.EntityID {
+	if s.engine == nil || c.Entity == kb.NoEntity {
+		return kb.NoEntity
 	}
-	return s.profiles[id]
+	k := s.engine.KB()
+	if int(c.Entity) >= k.NumEntities() {
+		return kb.NoEntity
+	}
+	ent := k.Entity(c.Entity)
+	if !sameFeatureSlice(c.Keyphrases, ent.Keyphrases) || !sameIDSlice(c.InLinks, ent.InLinks) {
+		return kb.NoEntity
+	}
+	return c.Entity
+}
+
+func sameFeatureSlice(a, b []kb.Keyphrase) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+func sameIDSlice(a, b []kb.EntityID) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+func (s *cohScorer) profile(id int) *relatedness.Profile {
+	s.pmu.Lock()
+	p := s.profiles[id]
+	s.pmu.Unlock()
+	if p != nil {
+		return p
+	}
+	// Build outside the lock so concurrent workers construct different
+	// profiles in parallel; first writer wins (duplicates are identical
+	// and immutable).
+	built := relatedness.NewProfile(s.cands[id].Keyphrases, s.weight)
+	s.pmu.Lock()
+	if s.profiles[id] == nil {
+		s.profiles[id] = built
+	}
+	p = s.profiles[id]
+	s.pmu.Unlock()
+	return p
 }
 
 // buildFilter runs the two-stage hashing over all registered candidates.
@@ -93,7 +162,7 @@ func newStandaloneFilter(kind relatedness.Kind) *relatedness.LSHFilter {
 }
 
 // score returns the coherence between two candidates, caching pair values
-// and honoring the LSH filter.
+// and honoring the LSH filter. Safe for concurrent use.
 func (s *cohScorer) score(a, b *Candidate) float64 {
 	ia, ib := s.cid(a), s.cid(b)
 	if ia == ib {
@@ -103,26 +172,64 @@ func (s *cohScorer) score(a, b *Candidate) float64 {
 	if ia > ib {
 		key = [2]int{ib, ia}
 	}
-	if v, ok := s.cache[key]; ok {
+	s.mu.Lock()
+	v, ok := s.cache[key]
+	s.mu.Unlock()
+	if ok {
 		return v
 	}
 	if s.allowed != nil && !s.allowed[key] {
+		s.mu.Lock()
 		s.cache[key] = 0
+		s.mu.Unlock()
 		return 0
 	}
-	s.comparisons++
-	var v float64
+	v = s.relatedness(ia, ib, a, b) * a.edgeScale() * b.edgeScale()
+	// First writer wins: the value is a pure function of the pair, so
+	// concurrent computations agree; the counter advances once per pair.
+	s.mu.Lock()
+	if prev, ok := s.cache[key]; ok {
+		v = prev
+	} else {
+		s.cache[key] = v
+		s.comparisons++
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// relatedness computes the raw measure value for an interned pair,
+// delegating to the shared engine when both sides are untouched KB
+// entities.
+func (s *cohScorer) relatedness(ia, ib int, a, b *Candidate) float64 {
+	if ea, eb := s.engineID[ia], s.engineID[ib]; ea != kb.NoEntity && eb != kb.NoEntity {
+		return s.engine.Relatedness(s.kind, ea, eb)
+	}
 	switch s.kind {
 	case relatedness.KindMW:
-		v = relatedness.MW(a.InLinks, b.InLinks, s.n)
+		return relatedness.MW(a.InLinks, b.InLinks, s.n)
 	case relatedness.KindKWCS:
-		v = relatedness.KeywordCosine(a.Keyphrases, b.Keyphrases, s.weight)
+		return relatedness.KeywordCosine(a.Keyphrases, b.Keyphrases, s.weight)
 	case relatedness.KindKPCS:
-		v = relatedness.KeyphraseCosine(a.Keyphrases, b.Keyphrases)
+		return relatedness.KeyphraseCosine(a.Keyphrases, b.Keyphrases)
 	default:
-		v = relatedness.KOREProfiles(s.profile(ia), s.profile(ib))
+		return relatedness.KOREProfiles(s.profile(ia), s.profile(ib))
 	}
-	v *= a.edgeScale() * b.edgeScale()
-	s.cache[key] = v
-	return v
+}
+
+// minParallelPairs is the smallest pair batch worth fanning out; below it
+// the goroutine overhead exceeds the scoring work.
+const minParallelPairs = 32
+
+// scoreAll warms the pair cache for the given candidate pairs with up to
+// workers goroutines. Because score memoizes pure per-pair values and the
+// comparison counter advances once per distinct pair, the resulting cache
+// and stats are identical to evaluating the pairs sequentially.
+func (s *cohScorer) scoreAll(pairs [][2]*Candidate, workers int) {
+	if len(pairs) < minParallelPairs {
+		workers = 1
+	}
+	pool.ForEach(len(pairs), workers, func(i int) {
+		s.score(pairs[i][0], pairs[i][1])
+	})
 }

@@ -1,0 +1,119 @@
+package disambig
+
+import (
+	"reflect"
+	"testing"
+
+	"aida/internal/kb"
+	"aida/internal/relatedness"
+)
+
+// outputsEqual compares two disambiguation outputs bit-for-bit, including
+// the per-candidate score vectors and work stats.
+func outputsEqual(a, b *Output) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+// TestCoherenceEngineMatchesLocal pins the shared-engine coherence path to
+// the engine-free per-problem path: same assignments, same scores, same
+// Stats.Comparisons, for every coherence measure.
+func TestCoherenceEngineMatchesLocal(t *testing.T) {
+	k := buildTestKB()
+	engine := relatedness.NewScorer(k)
+	kinds := []relatedness.Kind{
+		relatedness.KindMW, relatedness.KindKWCS, relatedness.KindKPCS,
+		relatedness.KindKORE, relatedness.KindKORELSHG, relatedness.KindKORELSHF,
+	}
+	for _, kind := range kinds {
+		m := NewAIDAVariant("t", Config{
+			UsePrior: true, PriorTest: true, UseCoherence: true, Measure: kind,
+		})
+		local := m.Disambiguate(NewProblem(k, exampleText, exampleMentions, 0))
+
+		p := NewProblem(k, exampleText, exampleMentions, 0)
+		p.Scorer = engine
+		shared := m.Disambiguate(p)
+		if !outputsEqual(local, shared) {
+			t.Errorf("%v: shared-engine output diverges from local output\nlocal:  %+v\nshared: %+v", kind, local, shared)
+		}
+		// Warm engine cache must not change anything either.
+		p2 := NewProblem(k, exampleText, exampleMentions, 0)
+		p2.Scorer = engine
+		warm := m.Disambiguate(p2)
+		if !outputsEqual(local, warm) {
+			t.Errorf("%v: warm-engine output diverges from local output", kind)
+		}
+	}
+}
+
+// TestCoherenceWorkersDeterministic pins the parallel coherence-edge pool
+// to the sequential path at several worker counts.
+func TestCoherenceWorkersDeterministic(t *testing.T) {
+	k := buildTestKB()
+	engine := relatedness.NewScorer(k)
+	base := Config{UsePrior: true, PriorTest: true, UseCoherence: true, Measure: relatedness.KindKORE, Workers: 1}
+	seq := NewAIDAVariant("seq", base).Disambiguate(NewProblem(k, exampleText, exampleMentions, 0))
+	for _, workers := range []int{2, 4, 8, 0} {
+		cfg := base
+		cfg.Workers = workers
+		for _, withEngine := range []bool{false, true} {
+			p := NewProblem(k, exampleText, exampleMentions, 0)
+			if withEngine {
+				p.Scorer = engine
+			}
+			got := NewAIDAVariant("par", cfg).Disambiguate(p)
+			if !outputsEqual(seq, got) {
+				t.Errorf("workers=%d engine=%v: output diverges from sequential", workers, withEngine)
+			}
+		}
+	}
+}
+
+// TestCohScorerSkipsModifiedCandidates checks that enrichment-style feature
+// replacement routes a candidate back to per-problem scoring rather than
+// the (stale) engine value.
+func TestCohScorerSkipsModifiedCandidates(t *testing.T) {
+	k := buildTestKB()
+	engine := relatedness.NewScorer(k)
+	p := NewProblem(k, exampleText, exampleMentions, 0)
+	p.Scorer = engine
+	// Simulate enrichment: give the first candidate of the first mention a
+	// fresh keyphrase slice (same content, different backing array).
+	c := &p.Mentions[0].Candidates[0]
+	c.Keyphrases = append([]kb.Keyphrase(nil), c.Keyphrases...)
+	s := newCohScorer(relatedness.KindKORE, p)
+	if id := s.engineID[s.cid(c)]; id != kb.NoEntity {
+		t.Fatalf("modified candidate should not be delegable, got engine id %d", id)
+	}
+	// An untouched candidate of the same problem stays delegable.
+	other := &p.Mentions[1].Candidates[0]
+	if id := s.engineID[s.cid(other)]; id != other.Entity {
+		t.Fatalf("untouched candidate should delegate as %d, got %d", other.Entity, id)
+	}
+	// Placeholders (out-of-KB) are never delegated.
+	ee := &Candidate{Entity: kb.NoEntity, Label: "X_EE"}
+	if id := s.engineID[s.cid(ee)]; id != kb.NoEntity {
+		t.Fatal("placeholder must not be delegable")
+	}
+}
+
+// TestComparisonsStableAcrossEngineTemperature: the comparison counter is a
+// per-problem quantity (Table 4.4) and must not shrink when the engine has
+// already seen the pairs.
+func TestComparisonsStableAcrossEngineTemperature(t *testing.T) {
+	k := buildTestKB()
+	engine := relatedness.NewScorer(k)
+	m := NewAIDAVariant("t", Config{UsePrior: true, UseCoherence: true, Measure: relatedness.KindKORE})
+	var counts []int
+	for i := 0; i < 3; i++ {
+		p := NewProblem(k, exampleText, exampleMentions, 0)
+		p.Scorer = engine
+		counts = append(counts, m.Disambiguate(p).Stats.Comparisons)
+	}
+	if counts[0] == 0 {
+		t.Fatal("expected nonzero comparisons")
+	}
+	if counts[1] != counts[0] || counts[2] != counts[0] {
+		t.Fatalf("comparisons drift across engine temperature: %v", counts)
+	}
+}

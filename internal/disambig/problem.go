@@ -13,6 +13,7 @@ package disambig
 
 import (
 	"aida/internal/kb"
+	"aida/internal/relatedness"
 	"aida/internal/textstat"
 	"aida/internal/tokenizer"
 )
@@ -29,7 +30,7 @@ type Candidate struct {
 	Keyphrases  []kb.Keyphrase
 	KeywordNPMI map[string]float64
 	InLinks     []kb.EntityID
-	// PriorWeight scales this candidate's edge weights (γ_EE balancing of
+	// EdgeScale scales this candidate's edge weights (γ_EE balancing of
 	// Sec. 5.6 for placeholder candidates; 1 for KB entities).
 	EdgeScale float64
 }
@@ -58,6 +59,19 @@ type Problem struct {
 	WordIDF func(string) float64
 	// TotalEntities is |E| of the underlying KB (for the MW measure).
 	TotalEntities int
+	// Scorer optionally shares a long-lived relatedness engine across
+	// problems: coherence scoring of candidates whose features are
+	// untouched KB features is delegated to it, memoizing pair values
+	// across documents. Setting it requires WordIDF to be the engine KB's
+	// WordIDF (true for problems built by NewProblem); candidates with
+	// modified features (enriched or placeholder) are always scored
+	// per-problem. Nil disables cross-document sharing.
+	Scorer *relatedness.Scorer
+	// CoherenceWorkers, when > 0, overrides the method's coherence-edge
+	// worker pool for this problem. Batch annotation sets it to 1 so that
+	// document-level fan-out is not compounded by per-document pools
+	// (results are identical at any setting; only scheduling changes).
+	CoherenceWorkers int
 
 	matcher *textstat.Matcher
 }
@@ -133,11 +147,13 @@ func MaterializeCandidates(k *kb.KB, surface string, maxCandidates int) []Candid
 // candidate features are shared.
 func (p *Problem) Clone() *Problem {
 	q := &Problem{
-		ContextWords:  p.ContextWords,
-		Mentions:      make([]Mention, len(p.Mentions)),
-		WordIDF:       p.WordIDF,
-		TotalEntities: p.TotalEntities,
-		matcher:       p.matcher,
+		ContextWords:     p.ContextWords,
+		Mentions:         make([]Mention, len(p.Mentions)),
+		WordIDF:          p.WordIDF,
+		TotalEntities:    p.TotalEntities,
+		Scorer:           p.Scorer,
+		CoherenceWorkers: p.CoherenceWorkers,
+		matcher:          p.matcher,
 	}
 	for i, m := range p.Mentions {
 		q.Mentions[i] = Mention{

@@ -283,10 +283,23 @@ func (e *Enricher) Add(id kb.EntityID, phrases map[string]int) {
 	}
 }
 
-// HarvestHighConfidence mines keyphrases around the mentions that a NED run
-// resolved with confidence ≥ threshold and attributes them to the chosen
-// entities.
-func (e *Enricher) HarvestHighConfidence(h *Harvester, docText string, out *disambig.Output, conf []float64, threshold float64) {
+// HarvestContribution is the outcome of harvesting one document for its
+// high-confidence disambiguations, not yet folded into an Enricher: the
+// per-name keyphrase counts and the entity each name resolved to. Keeping
+// collection separate from accumulation lets documents be harvested by
+// parallel workers while Enricher.Add runs serially in document order, so
+// the enriched state is identical to a sequential pass.
+type HarvestContribution struct {
+	Names    []string // sorted high-confidence surfaces with counts
+	Entities map[string]kb.EntityID
+	Harvest  *Harvest
+}
+
+// CollectHighConfidence mines keyphrases around the mentions that a NED run
+// resolved with confidence ≥ threshold, returning the contribution without
+// mutating any enricher. Nil means the document had no high-confidence
+// in-KB mention.
+func CollectHighConfidence(h *Harvester, docText string, out *disambig.Output, conf []float64, threshold float64) *HarvestContribution {
 	// Group high-confidence mentions by surface, then harvest once.
 	bySurface := map[string]kb.EntityID{}
 	for i, r := range out.Results {
@@ -296,19 +309,37 @@ func (e *Enricher) HarvestHighConfidence(h *Harvester, docText string, out *disa
 		bySurface[r.Surface] = r.Entity
 	}
 	if len(bySurface) == 0 {
-		return
+		return nil
 	}
 	names := make([]string, 0, len(bySurface))
 	for s := range bySurface {
 		names = append(names, s)
 	}
 	sort.Strings(names)
-	hv := h.HarvestDocs([]string{docText}, names)
-	for _, name := range names {
-		if counts := hv.Counts[name]; len(counts) > 0 {
-			e.Add(bySurface[name], counts)
+	return &HarvestContribution{
+		Names:    names,
+		Entities: bySurface,
+		Harvest:  h.HarvestDocs([]string{docText}, names),
+	}
+}
+
+// Apply folds a contribution into the enricher.
+func (e *Enricher) Apply(c *HarvestContribution) {
+	if c == nil {
+		return
+	}
+	for _, name := range c.Names {
+		if counts := c.Harvest.Counts[name]; len(counts) > 0 {
+			e.Add(c.Entities[name], counts)
 		}
 	}
+}
+
+// HarvestHighConfidence mines keyphrases around the mentions that a NED run
+// resolved with confidence ≥ threshold and attributes them to the chosen
+// entities.
+func (e *Enricher) HarvestHighConfidence(h *Harvester, docText string, out *disambig.Output, conf []float64, threshold float64) {
+	e.Apply(CollectHighConfidence(h, docText, out, conf, threshold))
 }
 
 // Enrich appends the harvested keyphrases to matching candidates of the

@@ -3,6 +3,8 @@ package emerge
 import (
 	"aida/internal/disambig"
 	"aida/internal/kb"
+	"aida/internal/pool"
+	"aida/internal/relatedness"
 )
 
 // ChunkDoc is one document of the harvesting chunk (the recent news the
@@ -38,6 +40,14 @@ type Pipeline struct {
 	MinCover float64
 	// MinConfidence is the harvesting confidence threshold (default 0.95).
 	MinConfidence float64
+	// Parallelism bounds the worker pools of chunk harvesting and
+	// enrichment (≤ 1 = sequential). Per-document work runs concurrently;
+	// accumulation stays in document order, so results are identical at
+	// any setting.
+	Parallelism int
+	// Scorer optionally shares a long-lived relatedness engine across the
+	// pipeline's disambiguation problems (see disambig.Problem.Scorer).
+	Scorer *relatedness.Scorer
 }
 
 func (pl *Pipeline) method() disambig.Method {
@@ -75,35 +85,58 @@ func (pl *Pipeline) harvester() Harvester {
 // BuildEnricher mines keyphrases for existing entities from the chunk
 // (Sec. 5.5.1): each document is disambiguated, and sentences around
 // high-confidence mentions that carry verbatim keyphrase evidence for the
-// chosen entity are harvested and attributed to it.
+// chosen entity are harvested and attributed to it. Documents are
+// processed by up to Parallelism workers; contributions are folded in
+// document order, so the enricher is identical to a sequential build.
 func (pl *Pipeline) BuildEnricher(chunk []ChunkDoc) *Enricher {
-	enricher := NewEnricher()
 	m := pl.harvestMethod()
-	for _, d := range chunk {
-		if len(d.Surfaces) == 0 {
-			continue
-		}
-		p := disambig.NewProblem(pl.KB, d.Text, d.Surfaces, pl.MaxCandidates)
-		out := m.Disambiguate(p)
-		conf := NormConfidence(out)
-		chosen := map[string]*disambig.Candidate{}
-		for j, r := range out.Results {
-			if r.CandidateIndex >= 0 {
-				chosen[r.Surface] = &p.Mentions[j].Candidates[r.CandidateIndex]
-			}
-		}
-		h := pl.harvester()
-		h.SentenceFilter = func(name string, sentenceWords []string) bool {
-			c := chosen[name]
-			if c == nil {
-				return false
-			}
-			sub := &disambig.Problem{ContextWords: sentenceWords, WordIDF: p.WordIDF}
-			return disambig.BestPhraseCover(sub, c) >= pl.minCover()
-		}
-		enricher.HarvestHighConfidence(&h, d.Text, out, conf, pl.minConfidence())
+	contribs := make([]*HarvestContribution, len(chunk))
+	pl.eachDoc(len(chunk), func(i int) {
+		contribs[i] = pl.harvestChunkDoc(m, chunk[i])
+	})
+	enricher := NewEnricher()
+	for _, c := range contribs {
+		enricher.Apply(c)
 	}
 	return enricher
+}
+
+// harvestChunkDoc disambiguates one chunk document and collects its
+// high-confidence keyphrase contribution (nil when there is none).
+func (pl *Pipeline) harvestChunkDoc(m disambig.Method, d ChunkDoc) *HarvestContribution {
+	if len(d.Surfaces) == 0 {
+		return nil
+	}
+	p := disambig.NewProblem(pl.KB, d.Text, d.Surfaces, pl.MaxCandidates)
+	p.Scorer = pl.Scorer
+	if pl.Parallelism > 1 {
+		// Fan-out happens at the document level; don't compound it with
+		// per-document coherence pools.
+		p.CoherenceWorkers = 1
+	}
+	out := m.Disambiguate(p)
+	conf := NormConfidence(out)
+	chosen := map[string]*disambig.Candidate{}
+	for j, r := range out.Results {
+		if r.CandidateIndex >= 0 {
+			chosen[r.Surface] = &p.Mentions[j].Candidates[r.CandidateIndex]
+		}
+	}
+	h := pl.harvester()
+	h.SentenceFilter = func(name string, sentenceWords []string) bool {
+		c := chosen[name]
+		if c == nil {
+			return false
+		}
+		sub := &disambig.Problem{ContextWords: sentenceWords, WordIDF: p.WordIDF}
+		return disambig.BestPhraseCover(sub, c) >= pl.minCover()
+	}
+	return CollectHighConfidence(&h, d.Text, out, conf, pl.minConfidence())
+}
+
+// eachDoc runs fn(i) for i in [0, n) on up to Parallelism workers.
+func (pl *Pipeline) eachDoc(n int, fn func(int)) {
+	pool.ForEach(n, pl.Parallelism, fn)
 }
 
 // Models harvests the chunk for the given surfaces and builds one
@@ -116,7 +149,7 @@ func (pl *Pipeline) Models(chunk []ChunkDoc, surfaces []string, enricher *Enrich
 		texts[i] = d.Text
 	}
 	h := pl.harvester()
-	hv := h.HarvestDocs(texts, surfaces)
+	hv := h.HarvestDocsParallel(texts, surfaces, pl.Parallelism)
 	cfg := pl.Model
 	if cfg.KBSize == 0 {
 		cfg.KBSize = pl.KB.NumEntities()
@@ -139,9 +172,12 @@ func (pl *Pipeline) Models(chunk []ChunkDoc, surfaces []string, enricher *Enrich
 }
 
 // Problem builds the (optionally enriched) disambiguation problem for a
-// document.
+// document. Enrichment replaces candidate keyphrase slices, which the
+// coherence scorer detects, so enriched candidates are scored per-problem
+// while untouched ones still use the shared engine.
 func (pl *Pipeline) Problem(text string, surfaces []string, enricher *Enricher) *disambig.Problem {
 	p := disambig.NewProblem(pl.KB, text, surfaces, pl.MaxCandidates)
+	p.Scorer = pl.Scorer
 	if enricher != nil {
 		enricher.Enrich(p)
 	}

@@ -73,9 +73,12 @@ type SpearmanRow struct {
 // link-poor seeds, and overall.
 func (s *Suite) Table42() []SpearmanRow {
 	gold := s.World.RelatednessGold(wiki.DefaultGoldSpec(s.Sizes.Seed + 7))
+	// One engine serves all six kinds: profiles are interned once and the
+	// LSH filters are built once instead of per measure.
+	engine := relatedness.NewScorer(s.World.KB)
 	measures := make(map[string]*relatedness.Measure, len(relatednessKinds))
 	for _, k := range relatednessKinds {
-		measures[k.String()] = relatedness.NewMeasure(k, s.World.KB)
+		measures[k.String()] = engine.Measure(k)
 	}
 	// Per-seed correlations per measure.
 	type seedScore struct {

@@ -1,0 +1,41 @@
+// Package pool provides the bounded index fan-out primitive shared by the
+// batch-annotation, coherence-scoring and chunk-harvesting paths.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines and
+// returns when all calls have completed. workers ≤ 1 (or n ≤ 1) runs
+// inline. Indices are handed out through a shared counter, so workers
+// steal work instead of idling behind a slow stripe; fn must therefore be
+// safe for concurrent invocation with distinct indices.
+func ForEach(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -2,7 +2,6 @@ package relatedness
 
 import (
 	"fmt"
-	"sync"
 
 	"aida/internal/kb"
 )
@@ -42,80 +41,36 @@ func (k Kind) String() string {
 // IsLSH reports whether the measure pre-filters pairs with LSH.
 func (k Kind) IsLSH() bool { return k == KindKORELSHG || k == KindKORELSHF }
 
-// Measure is a relatedness measure bound to a knowledge base, with cached
-// per-entity profiles. It is safe for concurrent use.
+// Measure is a per-kind view of a Scorer: a relatedness measure bound to a
+// knowledge base, sharing the engine's interned profiles, memoized pair
+// values and LSH filters. It is safe for concurrent use.
 type Measure struct {
 	Kind Kind
 	KB   *kb.KB
 
-	mu       sync.Mutex
-	profiles map[kb.EntityID]*Profile
-	filter   *LSHFilter
+	scorer *Scorer
 }
 
-// NewMeasure binds a measure kind to a knowledge base.
+// NewMeasure binds a measure kind to a knowledge base over a fresh engine.
+// Callers that evaluate several kinds (or many documents) should share one
+// Scorer and derive views with (*Scorer).Measure instead.
 func NewMeasure(kind Kind, k *kb.KB) *Measure {
-	m := &Measure{Kind: kind, KB: k, profiles: make(map[kb.EntityID]*Profile)}
-	if kind.IsLSH() {
-		m.filter = NewLSHFilter(k, kind)
-	}
-	return m
+	return NewScorer(k).Measure(kind)
 }
 
-// weighter returns the global keyword-IDF weighter of the bound KB.
-func (m *Measure) weighter() Weighter {
-	return func(w string) float64 {
-		v := m.KB.WordIDF(w)
-		if v <= 0 {
-			return 0.1 // unknown words carry minimal evidence
-		}
-		return v
-	}
-}
-
-// profile returns the cached keyphrase profile of an entity.
-func (m *Measure) profile(e kb.EntityID) *Profile {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if p, ok := m.profiles[e]; ok {
-		return p
-	}
-	p := NewProfile(m.KB.Entity(e).Keyphrases, m.weighter())
-	m.profiles[e] = p
-	return p
-}
+// Scorer returns the engine backing this view.
+func (m *Measure) Scorer() *Scorer { return m.scorer }
 
 // Relatedness computes the relatedness of two entities under the bound
 // measure kind. For LSH kinds this is the exact KORE value (the pair
 // filtering is exposed separately via Pairs).
 func (m *Measure) Relatedness(a, b kb.EntityID) float64 {
-	if a == b {
-		return 1
-	}
-	switch m.Kind {
-	case KindMW:
-		return MW(m.KB.Entity(a).InLinks, m.KB.Entity(b).InLinks, m.KB.NumEntities())
-	case KindKWCS:
-		return KeywordCosine(m.KB.Entity(a).Keyphrases, m.KB.Entity(b).Keyphrases, m.weighter())
-	case KindKPCS:
-		return KeyphraseCosine(m.KB.Entity(a).Keyphrases, m.KB.Entity(b).Keyphrases)
-	default: // KORE and its LSH variants
-		return KOREProfiles(m.profile(a), m.profile(b))
-	}
+	return m.scorer.Relatedness(m.Kind, a, b)
 }
 
 // Pairs returns the entity pairs whose relatedness should be computed for
 // the given candidate set. Exact measures return all pairs; LSH variants
 // return only pairs sharing at least one stage-two bucket (Sec. 4.4.2).
 func (m *Measure) Pairs(entities []kb.EntityID) [][2]kb.EntityID {
-	if m.filter != nil {
-		return m.filter.Pairs(entities)
-	}
-	var out [][2]kb.EntityID
-	for i := 0; i < len(entities); i++ {
-		for j := i + 1; j < len(entities); j++ {
-			out = append(out, [2]kb.EntityID{entities[i], entities[j]})
-		}
-	}
-	return out
+	return m.scorer.Pairs(m.Kind, entities)
 }

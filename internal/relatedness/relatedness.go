@@ -250,8 +250,15 @@ func joinWords(words []string) string {
 	return out
 }
 
-// cosine sums in sorted key order so results are bit-for-bit deterministic
-// regardless of map iteration order.
+// cosine computes the cosine similarity of two sparse vectors. It iterates
+// the smaller map directly for the dot product instead of materializing and
+// sorting both key sets (the former hot-path cost: two string slices plus
+// two string sorts per pairwise call). Partial sums are accumulated in
+// ascending value order, so the result is bit-for-bit deterministic
+// regardless of map iteration order. Note the accumulation order differs
+// from the pre-refactor sorted-key order, so individual values may differ
+// from the old implementation in the last ulp (exactly equal whenever the
+// additions are exact); each implementation is self-deterministic.
 func cosine(a, b map[string]float64) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
@@ -259,18 +266,26 @@ func cosine(a, b map[string]float64) float64 {
 	if len(b) < len(a) {
 		a, b = b, a
 	}
-	var dot, na, nb float64
-	for _, k := range sortedKeys(a) {
-		va := a[k]
-		na += va * va
+	buf := make([]float64, 0, len(b))
+	for k, va := range a {
 		if vb, ok := b[k]; ok {
-			dot += va * vb
+			buf = append(buf, va*vb)
 		}
 	}
-	for _, k := range sortedKeys(b) {
-		vb := b[k]
-		nb += vb * vb
+	dot := orderedSum(buf)
+	if dot == 0 {
+		return 0
 	}
+	buf = buf[:0]
+	for _, va := range a {
+		buf = append(buf, va*va)
+	}
+	na := orderedSum(buf)
+	buf = buf[:0]
+	for _, vb := range b {
+		buf = append(buf, vb*vb)
+	}
+	nb := orderedSum(buf)
 	if na == 0 || nb == 0 {
 		return 0
 	}
@@ -281,11 +296,14 @@ func cosine(a, b map[string]float64) float64 {
 	return v
 }
 
-func sortedKeys(m map[string]float64) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
+// orderedSum sums the values in ascending order, making the accumulated
+// float64 independent of the (randomized) map iteration order that
+// produced them. The slice is sorted in place.
+func orderedSum(xs []float64) float64 {
+	sort.Float64s(xs)
+	var s float64
+	for _, x := range xs {
+		s += x
 	}
-	sort.Strings(out)
-	return out
+	return s
 }

@@ -1,0 +1,210 @@
+package relatedness
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"aida/internal/kb"
+)
+
+// scorerShards is the shard count of the Scorer's profile and pair caches.
+// Sharding keeps lock contention negligible when many documents are scored
+// concurrently; 64 shards comfortably cover the worker counts of commodity
+// machines.
+const scorerShards = 64
+
+// pairKey identifies one memoized relatedness value: a measure kind and an
+// ordered entity pair (a < b).
+type pairKey struct {
+	kind Kind
+	a, b kb.EntityID
+}
+
+func (k pairKey) shard() uint64 {
+	h := uint64(k.a)*0x9e3779b97f4a7c15 ^ uint64(k.b)*0xc2b2ae3d27d4eb4f ^ uint64(k.kind)
+	return (h ^ h>>29) % scorerShards
+}
+
+type profileShard struct {
+	mu sync.RWMutex
+	m  map[kb.EntityID]*Profile
+}
+
+type pairShard struct {
+	mu sync.RWMutex
+	m  map[pairKey]float64
+	// hits/misses live per shard so the cache-hit fast path touches no
+	// shared cache line; CacheStats sums them.
+	hits, misses atomic.Int64
+}
+
+// Scorer is a long-lived scoring engine bound to one knowledge base. It
+// serves all six relatedness kinds, interns per-entity keyphrase profiles,
+// memoizes pairwise scores across documents, and builds each LSH filter at
+// most once per KB. All methods are safe for concurrent use; every returned
+// value is a pure function of the KB, so results are identical whether the
+// caches are cold or warm, sequential or hammered from many goroutines.
+//
+// A Scorer is the cross-request state that one-shot Measure construction
+// used to rebuild per call: share a single Scorer per KB process-wide and
+// derive per-kind views with Measure.
+type Scorer struct {
+	kb     *kb.KB
+	weight Weighter
+
+	profiles [scorerShards]profileShard
+	pairs    [scorerShards]pairShard
+
+	// filters holds the lazily built LSH filters, indexed by lshIndex.
+	filters [2]struct {
+		once sync.Once
+		f    *LSHFilter
+	}
+}
+
+// NewScorer creates a scoring engine over the knowledge base.
+func NewScorer(k *kb.KB) *Scorer {
+	s := &Scorer{kb: k}
+	s.weight = func(w string) float64 {
+		v := k.WordIDF(w)
+		if v <= 0 {
+			return 0.1 // unknown words carry minimal evidence
+		}
+		return v
+	}
+	for i := range s.profiles {
+		s.profiles[i].m = make(map[kb.EntityID]*Profile)
+	}
+	for i := range s.pairs {
+		s.pairs[i].m = make(map[pairKey]float64)
+	}
+	return s
+}
+
+// KB returns the bound knowledge base.
+func (s *Scorer) KB() *kb.KB { return s.kb }
+
+// Weighter returns the engine's global keyword-IDF weighter.
+func (s *Scorer) Weighter() Weighter { return s.weight }
+
+// Profile returns the interned keyphrase profile of a KB entity, building
+// it on first use. Duplicate builds under concurrency are possible but
+// harmless (profiles are immutable); exactly one copy is retained.
+func (s *Scorer) Profile(e kb.EntityID) *Profile {
+	sh := &s.profiles[uint64(e)%scorerShards]
+	sh.mu.RLock()
+	p, ok := sh.m[e]
+	sh.mu.RUnlock()
+	if ok {
+		return p
+	}
+	built := NewProfile(s.kb.Entity(e).Keyphrases, s.weight)
+	sh.mu.Lock()
+	if p, ok = sh.m[e]; !ok {
+		sh.m[e] = built
+		p = built
+	}
+	sh.mu.Unlock()
+	return p
+}
+
+// Relatedness computes the relatedness of two entities under the given
+// kind, memoizing the value across calls and documents. For LSH kinds this
+// is the exact KORE value (pair filtering is exposed via Pairs).
+func (s *Scorer) Relatedness(kind Kind, a, b kb.EntityID) float64 {
+	if a == b {
+		return 1
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := pairKey{kind: pairCacheKind(kind), a: a, b: b}
+	sh := &s.pairs[key.shard()]
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		sh.hits.Add(1)
+		return v
+	}
+	sh.misses.Add(1)
+	v = s.compute(kind, a, b)
+	sh.mu.Lock()
+	sh.m[key] = v
+	sh.mu.Unlock()
+	return v
+}
+
+// pairCacheKind collapses kinds that share the same exact value (KORE and
+// its LSH variants) onto one cache row.
+func pairCacheKind(kind Kind) Kind {
+	if kind.IsLSH() {
+		return KindKORE
+	}
+	return kind
+}
+
+// compute evaluates one pair without touching the pair cache.
+func (s *Scorer) compute(kind Kind, a, b kb.EntityID) float64 {
+	switch kind {
+	case KindMW:
+		return MW(s.kb.Entity(a).InLinks, s.kb.Entity(b).InLinks, s.kb.NumEntities())
+	case KindKWCS:
+		return KeywordCosine(s.kb.Entity(a).Keyphrases, s.kb.Entity(b).Keyphrases, s.weight)
+	case KindKPCS:
+		return KeyphraseCosine(s.kb.Entity(a).Keyphrases, s.kb.Entity(b).Keyphrases)
+	default: // KORE and its LSH variants
+		return KOREProfiles(s.Profile(a), s.Profile(b))
+	}
+}
+
+// lshIndex maps an LSH kind to its filter slot.
+func lshIndex(kind Kind) int {
+	if kind == KindKORELSHF {
+		return 1
+	}
+	return 0
+}
+
+// Filter returns the shared LSH filter for an LSH kind, building it on
+// first use (once per KB and kind). Non-LSH kinds have no filter and
+// return nil.
+func (s *Scorer) Filter(kind Kind) *LSHFilter {
+	if !kind.IsLSH() {
+		return nil
+	}
+	slot := &s.filters[lshIndex(kind)]
+	slot.once.Do(func() { slot.f = NewLSHFilter(s.kb, kind) })
+	return slot.f
+}
+
+// Pairs returns the entity pairs whose relatedness should be computed for
+// the given candidate set: all pairs for exact kinds, only pairs sharing a
+// stage-two LSH bucket for the LSH kinds (Sec. 4.4.2).
+func (s *Scorer) Pairs(kind Kind, entities []kb.EntityID) [][2]kb.EntityID {
+	if f := s.Filter(kind); f != nil {
+		return f.Pairs(entities)
+	}
+	var out [][2]kb.EntityID
+	for i := 0; i < len(entities); i++ {
+		for j := i + 1; j < len(entities); j++ {
+			out = append(out, [2]kb.EntityID{entities[i], entities[j]})
+		}
+	}
+	return out
+}
+
+// Measure derives a per-kind view sharing this engine's caches.
+func (s *Scorer) Measure(kind Kind) *Measure {
+	return &Measure{Kind: kind, KB: s.kb, scorer: s}
+}
+
+// CacheStats reports the pair-cache hit and miss counts since creation
+// (observability for batch workloads and benchmarks).
+func (s *Scorer) CacheStats() (hits, misses int64) {
+	for i := range s.pairs {
+		hits += s.pairs[i].hits.Load()
+		misses += s.pairs[i].misses.Load()
+	}
+	return hits, misses
+}

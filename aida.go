@@ -1,9 +1,11 @@
 package aida
 
 import (
+	"fmt"
 	"io"
 	"iter"
 	"runtime"
+	"strings"
 	"sync"
 
 	"aida/internal/disambig"
@@ -50,6 +52,13 @@ type (
 	// documents for all measure kinds, and builds each LSH filter once.
 	// Every System holds one; see (*System).Scorer.
 	Scorer = relatedness.Scorer
+	// ScorerStats is a snapshot of the engine's caches: interned-profile
+	// count and approximate memory, memoized pair count, and per-kind
+	// hit/miss counters. See (*Scorer).Stats.
+	ScorerStats = relatedness.Stats
+	// KindStats are one measure kind's pair-cache counters within a
+	// ScorerStats snapshot.
+	KindStats = relatedness.KindStats
 	// Discoverer performs emerging-entity discovery (Algorithm 3).
 	Discoverer = emerge.Discoverer
 	// Harvester mines keyphrases around name occurrences.
@@ -85,6 +94,13 @@ const (
 	KORELSHF = relatedness.KindKORELSHF
 )
 
+// ParseRelatednessKind resolves a measure name as printed by
+// RelatednessKind.String ("MW", "KWCS", "KPCS", "KORE", "KORE-LSH-G",
+// "KORE-LSH-F"), case-insensitively.
+func ParseRelatednessKind(name string) (RelatednessKind, error) {
+	return relatedness.ParseKind(name)
+}
+
 // NewKBBuilder returns an empty knowledge-base builder.
 func NewKBBuilder() *KBBuilder { return kb.NewBuilder() }
 
@@ -100,6 +116,32 @@ func NewMethod(name string, cfg Config) Method { return disambig.NewAIDAVariant(
 
 // Baselines returns the dissertation's full method suite (Table 3.2).
 func Baselines() []Method { return disambig.Methods() }
+
+// MethodByName resolves the method selectors shared by the command-line
+// tools and the server, case-insensitively: "aida" (or empty, the
+// default), "prior", "sim", "cuc", "kul-ci", "tagme", "iw". Unknown names
+// are an error, never a silent fallback.
+func MethodByName(name string) (Method, error) {
+	switch strings.ToLower(name) {
+	case "", "aida":
+		return NewAIDAMethod(), nil
+	case "tagme":
+		return NewTagMe(), nil
+	case "iw":
+		return NewWikifier(), nil
+	}
+	wanted := map[string]string{
+		"prior": "prior", "sim": "sim-k", "cuc": "Cuc", "kul-ci": "Kul CI",
+	}[strings.ToLower(name)]
+	if wanted != "" {
+		for _, m := range Baselines() {
+			if m.Name() == wanted {
+				return m, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("unknown method %q (want aida, prior, sim, cuc, kul-ci, tagme, iw)", name)
+}
 
 // NewTagMe returns the TagMe-style light-weight linker baseline.
 func NewTagMe() Method { return disambig.TagMe{} }
@@ -186,6 +228,18 @@ func (s *System) Annotate(text string) []Annotation {
 	return s.annotate(text, 0)
 }
 
+// AnnotateBounded is Annotate with an explicit concurrency budget: at
+// most parallelism goroutines score the document's coherence edges
+// (parallelism ≤ 0 keeps the method's own default, GOMAXPROCS). The bound
+// changes scheduling only, never results; servers use it to honor a
+// per-request parallelism cap on single-document requests.
+func (s *System) AnnotateBounded(text string, parallelism int) []Annotation {
+	if parallelism < 0 {
+		parallelism = 0
+	}
+	return s.annotate(text, parallelism)
+}
+
 // annotate is Annotate with an explicit coherence-pool override:
 // coherenceWorkers = 1 pins per-document scoring to one goroutine (used
 // under document-level fan-out, where parallelism comes from the batch
@@ -217,8 +271,17 @@ func (s *System) AnnotateBatch(docs []string, parallelism int) [][]Annotation {
 	out := make([][]Annotation, len(docs))
 	workers := batchWorkers(parallelism, len(docs))
 	if workers <= 1 {
+		// One document at a time. An explicit parallelism is the total
+		// concurrency budget, so it bounds each document's coherence pool
+		// (parallelism 1 means one goroutine in total, not one document
+		// at a time each fanning out to GOMAXPROCS); parallelism ≤ 0
+		// keeps the method default.
+		inner := parallelism
+		if inner < 0 {
+			inner = 0
+		}
 		for i, d := range docs {
-			out[i] = s.Annotate(d)
+			out[i] = s.annotate(d, inner)
 		}
 		return out
 	}
@@ -242,9 +305,12 @@ func (s *System) AnnotateAll(docs iter.Seq[string], parallelism int) iter.Seq2[i
 	return func(yield func(int, []Annotation) bool) {
 		workers := batchWorkers(parallelism, -1)
 		if workers <= 1 {
+			// workers == 1 means the caller asked for parallelism 1 or
+			// GOMAXPROCS is 1; either way the whole sequence runs on one
+			// goroutine, so the per-document coherence pool is pinned too.
 			i := 0
 			for d := range docs {
-				if !yield(i, s.Annotate(d)) {
+				if !yield(i, s.annotate(d, 1)) {
 					return
 				}
 				i++

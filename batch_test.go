@@ -67,6 +67,21 @@ func TestAnnotateBatchWarmsEngine(t *testing.T) {
 	}
 }
 
+// TestAnnotateBoundedMatchesAnnotate pins the concurrency-budgeted
+// variant to the default pipeline: the bound changes scheduling only.
+func TestAnnotateBoundedMatchesAnnotate(t *testing.T) {
+	k, docs := batchWorld(t, 4)
+	sys := New(k, WithMaxCandidates(10))
+	for _, d := range docs {
+		want := sys.Annotate(d)
+		for _, bound := range []int{-1, 0, 1, 2, runtime.GOMAXPROCS(0)} {
+			if got := sys.AnnotateBounded(d, bound); !reflect.DeepEqual(want, got) {
+				t.Fatalf("bound=%d: AnnotateBounded diverges from Annotate", bound)
+			}
+		}
+	}
+}
+
 // TestAnnotateAllMatchesBatch checks the streaming iterator yields the
 // same annotations in order, and honors early termination.
 func TestAnnotateAllMatchesBatch(t *testing.T) {

@@ -54,7 +54,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sys := aida.New(k, aida.WithMethod(methodFor(*method)), aida.WithMaxCandidates(20))
+	m, err := aida.MethodByName(*method)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := aida.New(k, aida.WithMethod(m), aida.WithMaxCandidates(20))
 	if *batch {
 		if *mentions != "" {
 			log.Fatal("-batch recognizes mentions automatically; drop -mentions")
@@ -149,26 +153,6 @@ func splitDocs(text string) []string {
 	}
 	flush()
 	return docs
-}
-
-func methodFor(name string) aida.Method {
-	wanted := map[string]string{
-		"prior": "prior", "sim": "sim-k", "cuc": "Cuc", "kul-ci": "Kul CI",
-	}[name]
-	if wanted != "" {
-		for _, m := range aida.Baselines() {
-			if m.Name() == wanted {
-				return m
-			}
-		}
-	}
-	switch name {
-	case "tagme":
-		return aida.NewTagMe()
-	case "iw":
-		return aida.NewWikifier()
-	}
-	return aida.NewAIDAMethod()
 }
 
 func printResult(surface, label string, e aida.EntityID, score float64) {

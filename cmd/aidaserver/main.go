@@ -1,0 +1,114 @@
+// Command aidaserver runs the AIDA annotation pipeline as a long-running
+// HTTP service: the knowledge base is loaded once, one System (and its
+// warm scoring engine) is shared across all requests, and annotation
+// responses are byte-identical to the in-process API at any parallelism.
+//
+// Usage:
+//
+//	aidaserver -kb kb.gob -addr :8080
+//	aidaserver -gen 2000 -seed 7 -addr localhost:8080
+//
+// Endpoints:
+//
+//	POST /v1/annotate        {"text": "..."}                 one document
+//	POST /v1/annotate/batch  {"docs": [...], "parallelism":N} many documents;
+//	                         Accept: application/x-ndjson (or ?stream=1)
+//	                         streams one result line per document
+//	GET  /v1/relatedness     ?kind=KORE&a=1&b=2              entity relatedness
+//	GET  /v1/stats           engine+server counters; ?format=prometheus for
+//	                         the Prometheus text exposition
+//	GET  /healthz            liveness
+//
+// The process drains in-flight requests on SIGINT/SIGTERM (-drain bounds
+// the wait). See docs/API.md for the full request/response reference.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aida"
+	"aida/internal/server"
+	"aida/internal/wiki"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		kbPath   = flag.String("kb", "", "path to a KB snapshot (gob)")
+		gen      = flag.Int("gen", 0, "generate a synthetic KB with this many entities")
+		seed     = flag.Int64("seed", 42, "seed for -gen")
+		method   = flag.String("method", "aida", "method: aida, prior, sim, cuc, kul-ci, tagme, iw")
+		maxCand  = flag.Int("max-candidates", 20, "candidates per mention (0 = no cap)")
+		defPar   = flag.Int("j", 0, "default per-request parallelism (0 = GOMAXPROCS)")
+		maxPar   = flag.Int("jmax", 0, "per-request parallelism cap (0 = GOMAXPROCS)")
+		maxBody  = flag.Int64("max-body", 8<<20, "max request body bytes")
+		maxBatch = flag.Int("max-batch", 1024, "max documents per batch request")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		jsonLog  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	)
+	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *jsonLog {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	k, err := loadKB(*kbPath, *gen, *seed)
+	if err != nil {
+		logger.Error("load KB", "err", err)
+		os.Exit(1)
+	}
+	m, err := aida.MethodByName(*method)
+	if err != nil {
+		logger.Error("select method", "err", err)
+		os.Exit(1)
+	}
+	sys := aida.New(k, aida.WithMethod(m), aida.WithMaxCandidates(*maxCand))
+	srv := server.New(sys, server.Config{
+		MaxBodyBytes:       *maxBody,
+		MaxBatchDocs:       *maxBatch,
+		MaxParallelism:     *maxPar,
+		DefaultParallelism: *defPar,
+		Logger:             logger,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	logger.Info("serving", "addr", l.Addr().String(), "entities", k.NumEntities(), "method", *method)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx, l, *drain); err != nil {
+		logger.Error("serve", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("stopped")
+}
+
+func loadKB(path string, gen int, seed int64) (*aida.KB, error) {
+	switch {
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return aida.LoadKB(f)
+	case gen > 0:
+		return wiki.Generate(wiki.Config{Seed: seed, Entities: gen}).KB, nil
+	default:
+		return nil, fmt.Errorf("provide -kb <file> or -gen <entities>")
+	}
+}

@@ -52,8 +52,29 @@
 // the output is byte-identical to a sequential Annotate loop at any
 // parallelism, because the engine memoizes only pure functions of the KB.
 //
-// See the examples directory for end-to-end programs: a quickstart, a
-// concurrent batch annotator, an emerging-entity news pipeline, a
+// The engine's state is observable: (*Scorer).Stats returns a ScorerStats
+// snapshot with per-measure-kind cache hit/miss counters and the interned
+// profiles' approximate memory footprint.
+//
+// # The annotation service
+//
+// Command aidaserver (cmd/aidaserver) runs the pipeline as a long-running
+// HTTP service: the KB is loaded once, one System is shared across all
+// requests, and JSON endpoints expose single-document and batch
+// annotation (including an order-preserving NDJSON stream for large
+// batches), entity relatedness, health, and engine statistics in JSON or
+// Prometheus text form. Because batch annotation is deterministic,
+// service responses are byte-identical to the in-process API at any
+// parallelism, and replicas of the same KB snapshot agree byte-for-byte.
+//
+// # Documentation
+//
+// docs/API.md is the full reference for this package's public surface and
+// the HTTP endpoints; docs/ARCHITECTURE.md maps the internal packages,
+// the mention–entity graph algorithm, and where the shared engine sits in
+// the data flow. The examples directory holds end-to-end programs: a
+// quickstart, a concurrent batch annotator, the HTTP service exercised in
+// one process (annotateservice), an emerging-entity news pipeline, a
 // relatedness comparison, and the strings+things+cats entity search
 // application.
 package aida

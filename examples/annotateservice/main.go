@@ -1,0 +1,127 @@
+// Command annotateservice demonstrates the HTTP annotation service end to
+// end in one process: it builds a small knowledge base, starts the server
+// on a loopback port, exercises every endpoint with a plain HTTP client,
+// and shuts down gracefully. In production you would run cmd/aidaserver
+// against a KB snapshot instead and talk to it with curl (see README.md).
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"aida"
+	"aida/internal/server"
+)
+
+func main() {
+	b := aida.NewKBBuilder()
+	jimmy := b.AddEntity("Jimmy Page", "music", "person")
+	larry := b.AddEntity("Larry Page", "tech", "person")
+	song := b.AddEntity("Kashmir (song)", "music", "work")
+	region := b.AddEntity("Kashmir", "geography", "location")
+	zep := b.AddEntity("Led Zeppelin", "music", "band")
+	plant := b.AddEntity("Robert Plant", "music", "person")
+
+	b.AddName("Page", larry, 60)
+	b.AddName("Page", jimmy, 30)
+	b.AddName("Kashmir", region, 90)
+	b.AddName("Kashmir", song, 10)
+	b.AddName("Plant", plant, 10)
+
+	music := []aida.EntityID{jimmy, song, zep, plant}
+	for _, x := range music {
+		for _, y := range music {
+			if x != y {
+				b.AddLink(x, y)
+			}
+		}
+	}
+	b.AddKeyphrase(jimmy, "English rock guitarist")
+	b.AddKeyphrase(larry, "search engine")
+	b.AddKeyphrase(song, "hard rock")
+	b.AddKeyphrase(region, "disputed territory")
+	b.AddKeyphrase(zep, "English rock band")
+	b.AddKeyphrase(plant, "English rock singer")
+
+	sys := aida.New(b.Build())
+	srv := server.New(sys, server.Config{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)), // keep the demo output clean
+	})
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, l, 5*time.Second) }()
+	base := "http://" + l.Addr().String()
+
+	show("GET /healthz", get(base+"/healthz"))
+	show("POST /v1/annotate", post(base+"/v1/annotate", "",
+		`{"text": "They performed Kashmir, written by Page and Plant."}`))
+	show("POST /v1/annotate/batch (NDJSON)", post(base+"/v1/annotate/batch", "application/x-ndjson",
+		`{"docs": ["Page played with Led Zeppelin.", "Kashmir is a disputed territory."], "parallelism": 2}`))
+	show(fmt.Sprintf("GET /v1/relatedness?kind=KORE&a=%d&b=%d", jimmy, zep),
+		get(fmt.Sprintf("%s/v1/relatedness?kind=KORE&a=%d&b=%d", base, jimmy, zep)))
+	show("GET /v1/stats?format=prometheus (excerpt)",
+		firstLines(get(base+"/v1/stats?format=prometheus"), 7))
+
+	cancel() // graceful shutdown: drain in-flight requests, then exit
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server drained and stopped")
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return slurp(resp)
+}
+
+func post(url, accept, body string) string {
+	req, err := http.NewRequest("POST", url, strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return slurp(resp)
+}
+
+func slurp(resp *http.Response) string {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return strings.TrimRight(string(data), "\n")
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.Split(s, "\n")
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func show(title, body string) {
+	fmt.Printf("== %s ==\n%s\n\n", title, body)
+}

@@ -2,6 +2,7 @@ package relatedness
 
 import (
 	"fmt"
+	"strings"
 
 	"aida/internal/kb"
 )
@@ -38,8 +39,26 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// numKinds is the number of defined measure kinds (per-kind stats arrays
+// are indexed by Kind).
+const numKinds = int(KindKORELSHF) + 1
+
 // IsLSH reports whether the measure pre-filters pairs with LSH.
 func (k Kind) IsLSH() bool { return k == KindKORELSHG || k == KindKORELSHF }
+
+// Valid reports whether k is one of the defined measure kinds.
+func (k Kind) Valid() bool { return k >= 0 && int(k) < numKinds }
+
+// ParseKind resolves a measure name as printed by Kind.String ("MW",
+// "KWCS", "KPCS", "KORE", "KORE-LSH-G", "KORE-LSH-F"), case-insensitively.
+func ParseKind(name string) (Kind, error) {
+	for k := Kind(0); int(k) < numKinds; k++ {
+		if strings.EqualFold(name, k.String()) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown relatedness kind %q", name)
+}
 
 // Measure is a per-kind view of a Scorer: a relatedness measure bound to a
 // knowledge base, sharing the engine's interned profiles, memoized pair

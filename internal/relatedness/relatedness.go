@@ -5,6 +5,14 @@
 // approximations KORE^LSH-G and KORE^LSH-F (Sec. 4.4).
 //
 // All measures return values in [0,1]; higher means more related.
+//
+// The long-lived entry point is the Scorer: a sharded, concurrency-safe
+// engine bound to one KB that interns entity Profiles, memoizes pair
+// values for all kinds across documents, builds each LSH filter once, and
+// reports its cache state via Stats. Measure is a thin per-kind view of a
+// Scorer; the free functions (MW, KORE, KeywordCosine, ...) are the
+// stateless primitives underneath, useful for ad-hoc keyphrase sets that
+// are not KB entities.
 package relatedness
 
 import (

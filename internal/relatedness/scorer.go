@@ -28,14 +28,19 @@ func (k pairKey) shard() uint64 {
 type profileShard struct {
 	mu sync.RWMutex
 	m  map[kb.EntityID]*Profile
+	// bytes is the approximate heap footprint of the interned profiles of
+	// this shard (guarded by mu, updated on insert).
+	bytes int64
 }
 
 type pairShard struct {
 	mu sync.RWMutex
 	m  map[pairKey]float64
-	// hits/misses live per shard so the cache-hit fast path touches no
-	// shared cache line; CacheStats sums them.
-	hits, misses atomic.Int64
+	// hits/misses live per shard — and per requested measure kind — so the
+	// cache-hit fast path touches no shared cache line; CacheStats and
+	// Stats sum them. LSH kinds share KORE's cache rows but keep their own
+	// counters, so per-kind traffic stays attributable.
+	hits, misses [numKinds]atomic.Int64
 }
 
 // Scorer is a long-lived scoring engine bound to one knowledge base. It
@@ -102,6 +107,7 @@ func (s *Scorer) Profile(e kb.EntityID) *Profile {
 	sh.mu.Lock()
 	if p, ok = sh.m[e]; !ok {
 		sh.m[e] = built
+		sh.bytes += built.ApproxBytes()
 		p = built
 	}
 	sh.mu.Unlock()
@@ -119,15 +125,16 @@ func (s *Scorer) Relatedness(kind Kind, a, b kb.EntityID) float64 {
 		a, b = b, a
 	}
 	key := pairKey{kind: pairCacheKind(kind), a: a, b: b}
+	ctr := counterKind(kind)
 	sh := &s.pairs[key.shard()]
 	sh.mu.RLock()
 	v, ok := sh.m[key]
 	sh.mu.RUnlock()
 	if ok {
-		sh.hits.Add(1)
+		sh.hits[ctr].Add(1)
 		return v
 	}
-	sh.misses.Add(1)
+	sh.misses[ctr].Add(1)
 	v = s.compute(kind, a, b)
 	sh.mu.Lock()
 	sh.m[key] = v
@@ -135,10 +142,21 @@ func (s *Scorer) Relatedness(kind Kind, a, b kb.EntityID) float64 {
 	return v
 }
 
-// pairCacheKind collapses kinds that share the same exact value (KORE and
-// its LSH variants) onto one cache row.
+// pairCacheKind collapses kinds that share the same exact value onto one
+// cache row: KORE's LSH variants, and out-of-range kinds, which compute
+// treats as KORE.
 func pairCacheKind(kind Kind) Kind {
-	if kind.IsLSH() {
+	if kind.IsLSH() || !kind.Valid() {
+		return KindKORE
+	}
+	return kind
+}
+
+// counterKind maps a requested kind onto its hit/miss counter slot. Valid
+// kinds keep their own counters even when they share a cache row;
+// out-of-range kinds are accounted as KORE, matching their cache row.
+func counterKind(kind Kind) Kind {
+	if !kind.Valid() {
 		return KindKORE
 	}
 	return kind
@@ -199,12 +217,15 @@ func (s *Scorer) Measure(kind Kind) *Measure {
 	return &Measure{Kind: kind, KB: s.kb, scorer: s}
 }
 
-// CacheStats reports the pair-cache hit and miss counts since creation
-// (observability for batch workloads and benchmarks).
+// CacheStats reports the total pair-cache hit and miss counts since
+// creation, summed across all measure kinds. Stats carries the full
+// per-kind breakdown; CacheStats remains as the cheap two-number view.
 func (s *Scorer) CacheStats() (hits, misses int64) {
 	for i := range s.pairs {
-		hits += s.pairs[i].hits.Load()
-		misses += s.pairs[i].misses.Load()
+		for k := 0; k < numKinds; k++ {
+			hits += s.pairs[i].hits[k].Load()
+			misses += s.pairs[i].misses[k].Load()
+		}
 	}
 	return hits, misses
 }

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"slices"
+	"strconv"
+	"strings"
+	"time"
+
+	"aida"
+)
+
+// Annotation is the wire form of one aida.Annotation. Entity is -1 when
+// the mention is out-of-KB (aida.NoEntity).
+type Annotation struct {
+	Text   string        `json:"text"`
+	Start  int           `json:"start"`
+	End    int           `json:"end"`
+	Entity aida.EntityID `json:"entity"`
+	Label  string        `json:"label"`
+	Score  float64       `json:"score"`
+}
+
+// wireAnnotations converts pipeline output to the wire form. Both the
+// single and the batch endpoint go through here, which is what makes
+// batch responses byte-identical to N single responses.
+func wireAnnotations(anns []aida.Annotation) []Annotation {
+	out := make([]Annotation, len(anns))
+	for i, a := range anns {
+		out[i] = Annotation{
+			Text:   a.Mention.Text,
+			Start:  a.Mention.Start,
+			End:    a.Mention.End,
+			Entity: a.Entity,
+			Label:  a.Label,
+			Score:  a.Score,
+		}
+	}
+	return out
+}
+
+type annotateRequest struct {
+	Text string `json:"text"`
+}
+
+type annotateResponse struct {
+	Annotations []Annotation `json:"annotations"`
+}
+
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	var req annotateRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	// The default-parallelism clamp applies to single documents too: the
+	// coherence pool is the only intra-document fan-out, so bounding it
+	// honors the operator's MaxParallelism under concurrent requests.
+	anns := s.sys.AnnotateBounded(req.Text, s.clampParallelism(0))
+	s.documents.Add(1)
+	writeJSON(w, http.StatusOK, annotateResponse{Annotations: wireAnnotations(anns)})
+}
+
+type batchRequest struct {
+	Docs []string `json:"docs"`
+	// Parallelism is the per-request worker count; 0 uses the server
+	// default, values above the server cap are clamped. It never changes
+	// the response bytes, only the scheduling.
+	Parallelism int `json:"parallelism"`
+}
+
+type batchResponse struct {
+	Results [][]Annotation `json:"results"`
+}
+
+// batchLine is one NDJSON stream element: the annotations of document
+// Index. Lines are emitted strictly in input order.
+type batchLine struct {
+	Index       int          `json:"index"`
+	Annotations []Annotation `json:"annotations"`
+}
+
+func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Docs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch: docs must contain at least one document")
+		return
+	}
+	if len(req.Docs) > s.cfg.MaxBatchDocs {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d documents exceeds the limit of %d", len(req.Docs), s.cfg.MaxBatchDocs))
+		return
+	}
+	parallelism := s.clampParallelism(req.Parallelism)
+
+	if wantsNDJSON(r) {
+		// Stream one line per document as soon as it and its
+		// predecessors are annotated; memory stays bounded by the worker
+		// count instead of the batch size.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for i, anns := range s.sys.AnnotateAll(slices.Values(req.Docs), parallelism) {
+			s.documents.Add(1)
+			if err := enc.Encode(batchLine{Index: i, Annotations: wireAnnotations(anns)}); err != nil {
+				return // client went away; AnnotateAll's workers stop with us
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return
+	}
+
+	results := make([][]Annotation, len(req.Docs))
+	for i, anns := range s.sys.AnnotateBatch(req.Docs, parallelism) {
+		results[i] = wireAnnotations(anns)
+	}
+	s.documents.Add(int64(len(req.Docs)))
+	writeJSON(w, http.StatusOK, batchResponse{Results: results})
+}
+
+// wantsNDJSON reports whether the client asked for a streaming NDJSON
+// batch response, via Accept: application/x-ndjson or ?stream=1.
+func wantsNDJSON(r *http.Request) bool {
+	if strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
+		return true
+	}
+	switch r.URL.Query().Get("stream") {
+	case "1", "true", "ndjson":
+		return true
+	}
+	return false
+}
+
+type relatednessResponse struct {
+	Kind        string        `json:"kind"`
+	A           aida.EntityID `json:"a"`
+	B           aida.EntityID `json:"b"`
+	Relatedness float64       `json:"relatedness"`
+}
+
+func (s *Server) handleRelatedness(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	kind, err := aida.ParseRelatednessKind(q.Get("kind"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	a, err := s.entityParam(q.Get("a"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "a: "+err.Error())
+		return
+	}
+	b, err := s.entityParam(q.Get("b"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "b: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, relatednessResponse{
+		Kind:        kind.String(),
+		A:           a,
+		B:           b,
+		Relatedness: s.sys.Relatedness(kind, a, b),
+	})
+}
+
+// entityParam parses an entity id query parameter and range-checks it
+// against the KB.
+func (s *Server) entityParam(raw string) (aida.EntityID, error) {
+	if raw == "" {
+		return 0, fmt.Errorf("missing entity id")
+	}
+	id, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("invalid entity id %q", raw)
+	}
+	if id < 0 || id >= s.sys.KB.NumEntities() {
+		return 0, fmt.Errorf("entity id %d out of range [0,%d)", id, s.sys.KB.NumEntities())
+	}
+	return aida.EntityID(id), nil
+}
+
+// statsResponse is the JSON shape of GET /v1/stats.
+type statsResponse struct {
+	Server serverStats      `json:"server"`
+	Engine aida.ScorerStats `json:"engine"`
+	KB     kbStats          `json:"kb"`
+}
+
+type serverStats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+	Documents     int64   `json:"documents"`
+}
+
+type kbStats struct {
+	Entities int `json:"entities"`
+}
+
+func (s *Server) statsSnapshot() statsResponse {
+	return statsResponse{
+		Server: serverStats{
+			UptimeSeconds: time.Since(s.start).Seconds(),
+			Requests:      s.requests.Load(),
+			Documents:     s.documents.Load(),
+		},
+		Engine: s.sys.Scorer().Stats(),
+		KB:     kbStats{Entities: s.sys.KB.NumEntities()},
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		s.writeMetrics(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
+}
+
+// wantsPrometheus reports whether the client asked for the Prometheus text
+// exposition, via ?format=prometheus or an Accept header preferring
+// text/plain.
+func wantsPrometheus(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/plain")
+}
+
+type healthResponse struct {
+	Status   string `json:"status"`
+	Entities int    `json:"entities"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Entities: s.sys.KB.NumEntities()})
+}

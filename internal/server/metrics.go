@@ -1,0 +1,50 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// writeMetrics renders the stats snapshot in the Prometheus text
+// exposition format (hand-rolled: the format is three line shapes, not
+// worth a dependency).
+func (s *Server) writeMetrics(w http.ResponseWriter) {
+	st := s.statsSnapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	writeMetric(w, "aida_server_uptime_seconds", "gauge",
+		"Seconds since the server started.", st.Server.UptimeSeconds)
+	writeMetric(w, "aida_server_requests_total", "counter",
+		"HTTP requests served across all endpoints.", float64(st.Server.Requests))
+	writeMetric(w, "aida_server_documents_total", "counter",
+		"Documents annotated by the annotate endpoints.", float64(st.Server.Documents))
+	writeMetric(w, "aida_kb_entities", "gauge",
+		"Entities in the loaded knowledge base.", float64(st.KB.Entities))
+	writeMetric(w, "aida_engine_profiles", "gauge",
+		"Entity keyphrase profiles interned by the scoring engine.", float64(st.Engine.Profiles))
+	writeMetric(w, "aida_engine_profile_bytes", "gauge",
+		"Approximate heap footprint of the interned profiles.", float64(st.Engine.ProfileBytes))
+	writeMetric(w, "aida_engine_pairs_cached", "gauge",
+		"Memoized entity-pair relatedness values across all measure kinds.", float64(st.Engine.Pairs))
+
+	header(w, "aida_engine_pair_hits_total", "counter",
+		"Pair-cache hits by measure kind.")
+	for _, ks := range st.Engine.ByKind {
+		fmt.Fprintf(w, "aida_engine_pair_hits_total{kind=%q} %d\n", ks.Name, ks.Hits)
+	}
+	header(w, "aida_engine_pair_misses_total", "counter",
+		"Pair-cache misses (computed values) by measure kind.")
+	for _, ks := range st.Engine.ByKind {
+		fmt.Fprintf(w, "aida_engine_pair_misses_total{kind=%q} %d\n", ks.Name, ks.Misses)
+	}
+}
+
+func header(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func writeMetric(w io.Writer, name, typ, help string, v float64) {
+	header(w, name, typ, help)
+	fmt.Fprintf(w, "%s %g\n", name, v)
+}

@@ -1,0 +1,219 @@
+// Package server implements the long-running HTTP annotation service: one
+// process loads the knowledge base once, holds one aida.System (and thus
+// one warm scoring engine), and serves JSON annotation, relatedness and
+// observability endpoints. Responses are byte-identical to the in-process
+// Annotate output for the same KB at any parallelism, so replicas behind a
+// load balancer agree byte-for-byte.
+//
+// Endpoints (see docs/API.md for the full reference):
+//
+//	POST /v1/annotate        annotate one document
+//	POST /v1/annotate/batch  annotate many documents (JSON array or NDJSON stream)
+//	GET  /v1/relatedness     entity-entity relatedness under one measure
+//	GET  /v1/stats           engine + server counters (JSON or Prometheus text)
+//	GET  /healthz            liveness
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"aida"
+)
+
+// Config bounds and wires a Server. The zero value is usable: every field
+// falls back to the default documented on it.
+type Config struct {
+	// MaxBodyBytes caps the request body size (default 8 MiB). Larger
+	// bodies are rejected with 413.
+	MaxBodyBytes int64
+	// MaxBatchDocs caps the number of documents per batch request
+	// (default 1024). Larger batches are rejected with 413.
+	MaxBatchDocs int
+	// MaxParallelism caps the per-request annotation parallelism
+	// (default GOMAXPROCS). Requests asking for more are clamped, never
+	// rejected: parallelism affects scheduling only, not results.
+	MaxParallelism int
+	// DefaultParallelism is used when a batch request does not specify
+	// parallelism (default MaxParallelism).
+	DefaultParallelism int
+	// Logger receives structured request logs (default slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatchDocs <= 0 {
+		c.MaxBatchDocs = 1024
+	}
+	if c.MaxParallelism <= 0 {
+		c.MaxParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultParallelism <= 0 || c.DefaultParallelism > c.MaxParallelism {
+		c.DefaultParallelism = c.MaxParallelism
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the HTTP front-end over one shared aida.System. All state it
+// adds on top of the system is monotonic counters, so a Server is safe for
+// concurrent use by construction.
+type Server struct {
+	sys   *aida.System
+	cfg   Config
+	log   *slog.Logger
+	start time.Time
+
+	requests  atomic.Int64 // HTTP requests served (any endpoint)
+	documents atomic.Int64 // documents annotated
+}
+
+// New wraps a system in a Server. The system's scoring engine is shared
+// across all requests, so the service gets warmer with traffic.
+func New(sys *aida.System, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{sys: sys, cfg: cfg, log: cfg.Logger, start: time.Now()}
+}
+
+// Handler returns the service's routing handler with request logging and
+// body limits applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/annotate", s.handleAnnotate)
+	mux.HandleFunc("POST /v1/annotate/batch", s.handleAnnotateBatch)
+	mux.HandleFunc("GET /v1/relatedness", s.handleRelatedness)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s.logged(mux)
+}
+
+// Serve accepts connections on l until ctx is cancelled, then drains
+// in-flight requests for at most drain before forcing connections closed.
+// It returns nil on a clean (cancelled and drained) exit.
+func (s *Server) Serve(ctx context.Context, l net.Listener, drain time.Duration) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.log.Info("shutting down", "drain", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		// Drain timed out: force lingering connections (e.g. a slow
+		// NDJSON stream) closed so embedders don't leak them.
+		hs.Close()
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// logged wraps next with request counting and structured access logging.
+func (s *Server) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		lw := &loggingWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(lw, r)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", lw.status,
+			"bytes", lw.bytes,
+			"duration_ms", float64(time.Since(t0).Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// loggingWriter records the status and byte count of a response. Flush is
+// forwarded so NDJSON streaming works through the middleware.
+type loggingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *loggingWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *loggingWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *loggingWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+// decodeBody decodes a JSON request body under the configured size cap.
+// It writes the error response itself and reports whether decoding
+// succeeded.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "malformed JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// clampParallelism resolves a requested per-request parallelism against
+// the configured default and cap.
+func (s *Server) clampParallelism(requested int) int {
+	p := requested
+	if p <= 0 {
+		p = s.cfg.DefaultParallelism
+	}
+	if p > s.cfg.MaxParallelism {
+		p = s.cfg.MaxParallelism
+	}
+	return p
+}

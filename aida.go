@@ -3,17 +3,16 @@ package aida
 import (
 	"fmt"
 	"io"
-	"iter"
+	"maps"
 	"runtime"
+	"slices"
 	"strings"
-	"sync"
 
 	"aida/internal/disambig"
 	"aida/internal/emerge"
 	"aida/internal/kb"
 	"aida/internal/nec"
 	"aida/internal/ner"
-	"aida/internal/pool"
 	"aida/internal/relatedness"
 )
 
@@ -39,6 +38,9 @@ type (
 	Result = disambig.Result
 	// Output is a full disambiguation result with work statistics.
 	Output = disambig.Output
+	// Stats are the work counters of one disambiguation run (also
+	// returned in Document.Stats when IncludeStats is requested).
+	Stats = disambig.Stats
 	// Method is a disambiguation algorithm.
 	Method = disambig.Method
 	// Config parameterizes the AIDA method.
@@ -117,30 +119,53 @@ func NewMethod(name string, cfg Config) Method { return disambig.NewAIDAVariant(
 // Baselines returns the dissertation's full method suite (Table 3.2).
 func Baselines() []Method { return disambig.Methods() }
 
+// methodTable maps every selector MethodByName accepts (lower-case) to
+// the constructor of the method it names. It is the single enumerable
+// source of truth for the selector set shared by the command-line tools,
+// the server's per-request method field, and UseMethodNamed; MethodNames
+// lists it.
+var methodTable = map[string]func() Method{
+	"aida":   NewAIDAMethod,
+	"prior":  func() Method { return baselineNamed("prior") },
+	"sim":    func() Method { return baselineNamed("sim-k") },
+	"cuc":    func() Method { return baselineNamed("Cuc") },
+	"kul-ci": func() Method { return baselineNamed("Kul CI") },
+	"tagme":  NewTagMe,
+	"iw":     NewWikifier,
+}
+
+// baselineNamed picks a method out of the dissertation's baseline suite by
+// its printed name (nil when absent).
+func baselineNamed(name string) Method {
+	for _, m := range Baselines() {
+		if m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// MethodNames returns every selector MethodByName accepts, sorted. The
+// empty string (an alias for "aida") is not listed.
+func MethodNames() []string {
+	return slices.Sorted(maps.Keys(methodTable))
+}
+
 // MethodByName resolves the method selectors shared by the command-line
 // tools and the server, case-insensitively: "aida" (or empty, the
 // default), "prior", "sim", "cuc", "kul-ci", "tagme", "iw". Unknown names
 // are an error, never a silent fallback.
 func MethodByName(name string) (Method, error) {
-	switch strings.ToLower(name) {
-	case "", "aida":
-		return NewAIDAMethod(), nil
-	case "tagme":
-		return NewTagMe(), nil
-	case "iw":
-		return NewWikifier(), nil
+	sel := strings.ToLower(name)
+	if sel == "" {
+		sel = "aida"
 	}
-	wanted := map[string]string{
-		"prior": "prior", "sim": "sim-k", "cuc": "Cuc", "kul-ci": "Kul CI",
-	}[strings.ToLower(name)]
-	if wanted != "" {
-		for _, m := range Baselines() {
-			if m.Name() == wanted {
-				return m, nil
-			}
+	if ctor, ok := methodTable[sel]; ok {
+		if m := ctor(); m != nil {
+			return m, nil
 		}
 	}
-	return nil, fmt.Errorf("unknown method %q (want aida, prior, sim, cuc, kul-ci, tagme, iw)", name)
+	return nil, fmt.Errorf("unknown method %q (want %s)", name, strings.Join(MethodNames(), ", "))
 }
 
 // NewTagMe returns the TagMe-style light-weight linker baseline.
@@ -221,177 +246,6 @@ func (s *System) NewProblem(text string, surfaces []string) *Problem {
 // Disambiguate links pre-recognized mention surfaces in the text.
 func (s *System) Disambiguate(text string, surfaces []string) *Output {
 	return s.Method.Disambiguate(s.NewProblem(text, surfaces))
-}
-
-// Annotate runs the full pipeline: recognition plus disambiguation.
-func (s *System) Annotate(text string) []Annotation {
-	return s.annotate(text, 0)
-}
-
-// AnnotateBounded is Annotate with an explicit concurrency budget: at
-// most parallelism goroutines score the document's coherence edges
-// (parallelism ≤ 0 keeps the method's own default, GOMAXPROCS). The bound
-// changes scheduling only, never results; servers use it to honor a
-// per-request parallelism cap on single-document requests.
-func (s *System) AnnotateBounded(text string, parallelism int) []Annotation {
-	if parallelism < 0 {
-		parallelism = 0
-	}
-	return s.annotate(text, parallelism)
-}
-
-// annotate is Annotate with an explicit coherence-pool override:
-// coherenceWorkers = 1 pins per-document scoring to one goroutine (used
-// under document-level fan-out, where parallelism comes from the batch
-// pool), 0 keeps the method's own default. The override never changes
-// results, only scheduling.
-func (s *System) annotate(text string, coherenceWorkers int) []Annotation {
-	mentions := s.recognizer.Recognize(text)
-	surfaces := make([]string, len(mentions))
-	for i, m := range mentions {
-		surfaces[i] = m.Text
-	}
-	p := s.NewProblem(text, surfaces)
-	p.CoherenceWorkers = coherenceWorkers
-	out := s.Method.Disambiguate(p)
-	anns := make([]Annotation, len(mentions))
-	for i, m := range mentions {
-		r := out.Results[i]
-		anns[i] = Annotation{Mention: m, Entity: r.Entity, Label: r.Label, Score: r.Score}
-	}
-	return anns
-}
-
-// AnnotateBatch annotates documents concurrently with a bounded worker
-// pool (parallelism ≤ 0 means GOMAXPROCS) and returns the annotations in
-// input order. The output is byte-identical to calling Annotate on each
-// document sequentially: documents are independent, and the shared engine
-// only memoizes values that are pure functions of the KB.
-func (s *System) AnnotateBatch(docs []string, parallelism int) [][]Annotation {
-	out := make([][]Annotation, len(docs))
-	workers := batchWorkers(parallelism, len(docs))
-	if workers <= 1 {
-		// One document at a time. An explicit parallelism is the total
-		// concurrency budget, so it bounds each document's coherence pool
-		// (parallelism 1 means one goroutine in total, not one document
-		// at a time each fanning out to GOMAXPROCS); parallelism ≤ 0
-		// keeps the method default.
-		inner := parallelism
-		if inner < 0 {
-			inner = 0
-		}
-		for i, d := range docs {
-			out[i] = s.annotate(d, inner)
-		}
-		return out
-	}
-	// Parallelism comes from the document pool; pin each document's
-	// coherence scoring to one goroutine so a P-worker batch schedules P
-	// goroutines, not P².
-	pool.ForEach(len(docs), workers, func(i int) {
-		out[i] = s.annotate(docs[i], 1)
-	})
-	return out
-}
-
-// AnnotateAll streams annotations for an arbitrary document sequence:
-// documents are fanned out to a bounded worker pool (parallelism ≤ 0 means
-// GOMAXPROCS) while results are yielded strictly in input order, each as
-// soon as it and all its predecessors are done. Breaking out of the range
-// loop stops the workers. Memory stays bounded by the worker count rather
-// than the corpus size, so it suits indefinite feeds (news streams, queue
-// consumers); for in-memory slices AnnotateBatch is simpler.
-func (s *System) AnnotateAll(docs iter.Seq[string], parallelism int) iter.Seq2[int, []Annotation] {
-	return func(yield func(int, []Annotation) bool) {
-		workers := batchWorkers(parallelism, -1)
-		if workers <= 1 {
-			// workers == 1 means the caller asked for parallelism 1 or
-			// GOMAXPROCS is 1; either way the whole sequence runs on one
-			// goroutine, so the per-document coherence pool is pinned too.
-			i := 0
-			for d := range docs {
-				if !yield(i, s.annotate(d, 1)) {
-					return
-				}
-				i++
-			}
-			return
-		}
-		type job struct {
-			i    int
-			text string
-		}
-		type res struct {
-			i    int
-			anns []Annotation
-		}
-		stop := make(chan struct{})
-		defer close(stop)
-		jobs := make(chan job, workers)
-		results := make(chan res, workers)
-		go func() { // producer
-			defer close(jobs)
-			i := 0
-			for d := range docs {
-				select {
-				case jobs <- job{i: i, text: d}:
-					i++
-				case <-stop:
-					return
-				}
-			}
-		}()
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for j := range jobs {
-					select {
-					case results <- res{i: j.i, anns: s.annotate(j.text, 1)}:
-					case <-stop:
-						return
-					}
-				}
-			}()
-		}
-		go func() {
-			wg.Wait()
-			close(results)
-		}()
-		// Reorder: emit document i only after 0..i-1 have been emitted.
-		// annotate always returns a non-nil slice, so presence in pending
-		// is enough to mark a document done.
-		pending := make(map[int][]Annotation, workers)
-		next := 0
-		for r := range results {
-			pending[r.i] = r.anns
-			for {
-				anns, ok := pending[next]
-				if !ok {
-					break
-				}
-				delete(pending, next)
-				if !yield(next, anns) {
-					return
-				}
-				next++
-			}
-		}
-	}
-}
-
-// batchWorkers resolves the worker count for a document fan-out; n < 0
-// means the document count is unknown (streaming).
-func batchWorkers(parallelism, n int) int {
-	w := parallelism
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	if n >= 0 && w > n {
-		w = n
-	}
-	return w
 }
 
 // Relatedness computes the semantic relatedness of two KB entities under

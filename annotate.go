@@ -1,0 +1,495 @@
+package aida
+
+import (
+	"context"
+	"iter"
+	"runtime"
+	"sync"
+
+	"aida/internal/disambig"
+	"aida/internal/emerge"
+	"aida/internal/pool"
+)
+
+// Document is the result of annotating one document through the
+// context-aware request API (AnnotateDoc, AnnotateCorpus, AnnotateStream).
+// The always-present core is Annotations; the other fields are opt-in
+// extras selected with AnnotateOptions, so the common path pays nothing
+// for them.
+type Document struct {
+	// Index is the document's position within its corpus or stream
+	// (always 0 for AnnotateDoc).
+	Index int
+	// Annotations are the recognized mentions with their linked entities,
+	// in text order.
+	Annotations []Annotation
+	// Candidates holds, per mention, the materialized candidate list with
+	// the method's final per-candidate scores attached (in the KB's
+	// prior-sorted order). Nil unless IncludeCandidates was given.
+	Candidates [][]RankedCandidate
+	// Confidence holds the per-mention CONF confidence scores of
+	// Chapter 5. Nil unless IncludeConfidence was given.
+	Confidence []float64
+	// Stats reports the disambiguation work counters. Nil unless
+	// IncludeStats was given.
+	Stats *Stats
+}
+
+// RankedCandidate is one scored disambiguation candidate of a mention,
+// reported in Document.Candidates when IncludeCandidates is requested.
+type RankedCandidate struct {
+	Entity EntityID
+	Label  string
+	Prior  float64
+	// Score is the method's final score for this candidate (0 for methods
+	// that do not expose a per-candidate score vector).
+	Score float64
+}
+
+// AnnotateOption configures one annotation request. Options apply to a
+// single AnnotateDoc/AnnotateCorpus/AnnotateStream call and never mutate
+// the System, so concurrent requests with different options are safe.
+// Request defaults come from the System (its Method, MaxCandidates and
+// ExpandSurfaces settings).
+type AnnotateOption func(*annotateOptions)
+
+type annotateOptions struct {
+	method      Method
+	methodErr   error
+	maxCands    int
+	expand      bool
+	parallelism int
+	withCands   bool
+	confIters   int
+	confSeed    int64
+	withStats   bool
+}
+
+// UseMethod selects the disambiguation method for this request only
+// (default: the System's method). Methods are stateless, so any method may
+// serve concurrent requests.
+func UseMethod(m Method) AnnotateOption {
+	return func(o *annotateOptions) {
+		if m != nil {
+			o.method = m
+		}
+	}
+}
+
+// UseMethodNamed is UseMethod with the selector names of MethodByName
+// ("aida", "prior", "sim", "cuc", "kul-ci", "tagme", "iw",
+// case-insensitive; empty = "aida"). An unknown name surfaces as the
+// request's error.
+func UseMethodNamed(name string) AnnotateOption {
+	return func(o *annotateOptions) {
+		m, err := MethodByName(name)
+		if err != nil {
+			o.methodErr = err
+			return
+		}
+		o.method = m
+	}
+}
+
+// WithParallelism bounds the request's concurrency: for AnnotateCorpus and
+// AnnotateStream it is the document fan-out width, for AnnotateDoc it caps
+// the coherence-edge worker pool. n ≤ 0 means GOMAXPROCS. Parallelism
+// changes scheduling only — the annotations are byte-identical at every
+// setting.
+func WithParallelism(n int) AnnotateOption {
+	return func(o *annotateOptions) { o.parallelism = n }
+}
+
+// CapCandidates caps the candidates materialized per mention for this
+// request (n ≤ 0 removes the cap), overriding the System's MaxCandidates.
+func CapCandidates(n int) AnnotateOption {
+	return func(o *annotateOptions) { o.maxCands = n }
+}
+
+// SurfaceExpansion enables or disables the within-document coreference
+// heuristic ("Carter" → "Rubin Carter") for this request, overriding the
+// System's ExpandSurfaces setting.
+func SurfaceExpansion(on bool) AnnotateOption {
+	return func(o *annotateOptions) { o.expand = on }
+}
+
+// IncludeCandidates asks for the per-mention scored candidate lists in
+// Document.Candidates.
+func IncludeCandidates() AnnotateOption {
+	return func(o *annotateOptions) { o.withCands = true }
+}
+
+// IncludeConfidence asks for per-mention CONF confidence scores
+// (normalized weighted degree + entity perturbation, Chapter 5) in
+// Document.Confidence. iterations ≤ 0 falls back to 10; seed fixes the
+// perturbation randomness so repeated requests agree.
+func IncludeConfidence(iterations int, seed int64) AnnotateOption {
+	return func(o *annotateOptions) {
+		if iterations <= 0 {
+			iterations = 10
+		}
+		o.confIters = iterations
+		o.confSeed = seed
+	}
+}
+
+// IncludeStats asks for the disambiguation work counters (pairwise
+// comparisons, graph size) in Document.Stats.
+func IncludeStats() AnnotateOption {
+	return func(o *annotateOptions) { o.withStats = true }
+}
+
+// requestOptions resolves the per-request options against the System's
+// defaults.
+func (s *System) requestOptions(opts []AnnotateOption) (annotateOptions, error) {
+	o := annotateOptions{
+		method:   s.Method,
+		maxCands: s.MaxCandidates,
+		expand:   s.ExpandSurfaces,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.methodErr != nil {
+		return o, o.methodErr
+	}
+	if o.method == nil {
+		o.method = NewAIDAMethod()
+	}
+	if o.parallelism < 0 {
+		o.parallelism = 0
+	}
+	return o, nil
+}
+
+// annotateOne runs the full pipeline for one document under the resolved
+// request options. coherenceWorkers = 1 pins per-document coherence
+// scoring to one goroutine (used under document-level fan-out), 0 keeps
+// the method's own default; the override never changes results, only
+// scheduling. ctx cancels in-flight scoring; on cancellation the partial
+// output is discarded and ctx.Err() returned.
+func (s *System) annotateOne(ctx context.Context, text string, o annotateOptions, coherenceWorkers int) (*Document, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	mentions := s.recognizer.Recognize(text)
+	surfaces := make([]string, len(mentions))
+	for i, m := range mentions {
+		surfaces[i] = m.Text
+	}
+	if o.expand {
+		surfaces = disambig.ExpandSurfaces(s.KB, surfaces)
+	}
+	p := disambig.NewProblem(s.KB, text, surfaces, o.maxCands)
+	p.Scorer = s.engine
+	p.CoherenceWorkers = coherenceWorkers
+	p.Context = ctx
+	out := o.method.Disambiguate(p)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	doc := &Document{Annotations: make([]Annotation, len(mentions))}
+	for i, m := range mentions {
+		r := out.Results[i]
+		doc.Annotations[i] = Annotation{Mention: m, Entity: r.Entity, Label: r.Label, Score: r.Score}
+	}
+	if o.withCands {
+		doc.Candidates = rankedCandidates(p, out)
+	}
+	if o.confIters > 0 {
+		doc.Confidence = emerge.CONF(o.method, p, out, emerge.PerturbConfig{Iterations: o.confIters, Seed: o.confSeed})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if o.withStats {
+		st := out.Stats
+		doc.Stats = &st
+	}
+	return doc, nil
+}
+
+// rankedCandidates pairs each mention's materialized candidates with the
+// method's final score vector.
+func rankedCandidates(p *disambig.Problem, out *disambig.Output) [][]RankedCandidate {
+	all := make([][]RankedCandidate, len(p.Mentions))
+	for i := range p.Mentions {
+		m := &p.Mentions[i]
+		scores := out.Results[i].Scores
+		rc := make([]RankedCandidate, len(m.Candidates))
+		for j := range m.Candidates {
+			c := &m.Candidates[j]
+			rc[j] = RankedCandidate{Entity: c.Entity, Label: c.Label, Prior: c.Prior}
+			if j < len(scores) {
+				rc[j].Score = scores[j]
+			}
+		}
+		all[i] = rc
+	}
+	return all
+}
+
+// AnnotateDoc runs the full pipeline — recognition plus disambiguation —
+// on one document. ctx cancels in-flight scoring promptly (the coherence
+// workers observe it); options select the method, candidate cap, surface
+// expansion, coherence parallelism and opt-in extras for this request
+// only. The annotations are byte-identical to the deprecated Annotate at
+// any parallelism.
+func (s *System) AnnotateDoc(ctx context.Context, text string, opts ...AnnotateOption) (*Document, error) {
+	o, err := s.requestOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.annotateOne(ctx, text, o, o.parallelism)
+}
+
+// AnnotateCorpus annotates a slice of documents concurrently with a
+// bounded worker pool (WithParallelism; default GOMAXPROCS) and returns
+// the documents in input order. On cancellation it stops handing out
+// documents, waits for in-flight workers, and returns ctx.Err(); no
+// partial result is returned. The annotations are byte-identical to a
+// sequential AnnotateDoc loop — and to the deprecated AnnotateBatch — at
+// any parallelism, because the shared engine memoizes only pure functions
+// of the KB.
+func (s *System) AnnotateCorpus(ctx context.Context, docs []string, opts ...AnnotateOption) ([]*Document, error) {
+	o, err := s.requestOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Document, len(docs))
+	workers := batchWorkers(o.parallelism, len(docs))
+	if workers <= 1 {
+		// One document at a time. An explicit parallelism is the total
+		// concurrency budget, so it bounds each document's coherence pool
+		// (parallelism 1 means one goroutine in total, not one document at
+		// a time each fanning out to GOMAXPROCS); parallelism 0 keeps the
+		// method default.
+		for i, d := range docs {
+			doc, err := s.annotateOne(ctx, d, o, o.parallelism)
+			if err != nil {
+				return nil, err
+			}
+			doc.Index = i
+			out[i] = doc
+		}
+		return out, nil
+	}
+	// Parallelism comes from the document pool; pin each document's
+	// coherence scoring to one goroutine so a P-worker corpus schedules P
+	// goroutines, not P².
+	err = pool.ForEachCtx(ctx, len(docs), workers, func(i int) error {
+		doc, err := s.annotateOne(ctx, docs[i], o, 1)
+		if err != nil {
+			return err
+		}
+		doc.Index = i
+		out[i] = doc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AnnotateStream annotates an arbitrary document sequence: documents are
+// fanned out to a bounded worker pool (WithParallelism; default
+// GOMAXPROCS) while results are yielded strictly in input order, each as
+// soon as it and all its predecessors are done. Memory stays bounded by
+// the worker count rather than the corpus size, so it suits indefinite
+// feeds (news streams, queue consumers); for in-memory slices
+// AnnotateCorpus is simpler.
+//
+// Breaking out of the range loop stops the workers and the input pull
+// without leaking goroutines. When ctx is canceled the stream stops
+// pulling input, drains its workers, and ends by yielding (nil,
+// ctx.Err()) — a nil error on every yielded pair therefore means the
+// sequence was annotated completely. The yielded annotations are
+// byte-identical to the deprecated AnnotateAll at any parallelism.
+func (s *System) AnnotateStream(ctx context.Context, docs iter.Seq[string], opts ...AnnotateOption) iter.Seq2[*Document, error] {
+	return func(yield func(*Document, error) bool) {
+		o, err := s.requestOptions(opts)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		workers := batchWorkers(o.parallelism, -1)
+		if workers <= 1 {
+			// workers == 1 means the caller asked for parallelism 1 or
+			// GOMAXPROCS is 1; either way the whole sequence runs on one
+			// goroutine, so the per-document coherence pool is pinned too.
+			i := 0
+			for d := range docs {
+				doc, err := s.annotateOne(ctx, d, o, 1)
+				if err != nil {
+					yield(nil, err)
+					return
+				}
+				doc.Index = i
+				if !yield(doc, nil) {
+					return
+				}
+				i++
+			}
+			return
+		}
+		type job struct {
+			i    int
+			text string
+		}
+		type res struct {
+			i   int
+			doc *Document
+			err error
+		}
+		stop := make(chan struct{})
+		defer close(stop)
+		jobs := make(chan job, workers)
+		results := make(chan res, workers)
+		go func() { // producer
+			defer close(jobs)
+			i := 0
+			for d := range docs {
+				select {
+				case jobs <- job{i: i, text: d}:
+					i++
+				case <-stop:
+					return
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					doc, err := s.annotateOne(ctx, j.text, o, 1)
+					if doc != nil {
+						doc.Index = j.i
+					}
+					select {
+					case results <- res{i: j.i, doc: doc, err: err}:
+						if err != nil {
+							return
+						}
+					case <-stop:
+						return
+					}
+				}
+			}()
+		}
+		go func() {
+			wg.Wait()
+			close(results)
+		}()
+		// Reorder: emit document i only after 0..i-1 have been emitted.
+		// annotateOne always returns a non-nil document on success, so
+		// presence in pending is enough to mark a document done.
+		pending := make(map[int]*Document, workers)
+		next := 0
+		for r := range results {
+			if r.err != nil {
+				yield(nil, r.err)
+				return
+			}
+			pending[r.i] = r.doc
+			for {
+				doc, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				if !yield(doc, nil) {
+					return
+				}
+				next++
+			}
+		}
+		// The producer may have stopped pulling input on cancellation
+		// without any worker observing ctx (all drained jobs finished
+		// first). Surface the truncation instead of ending as a success.
+		if err := ctx.Err(); err != nil {
+			yield(nil, err)
+		}
+	}
+}
+
+// batchWorkers resolves the worker count for a document fan-out; n < 0
+// means the document count is unknown (streaming).
+func batchWorkers(parallelism, n int) int {
+	w := parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n >= 0 && w > n {
+		w = n
+	}
+	return w
+}
+
+// Annotate runs the full pipeline: recognition plus disambiguation.
+//
+// Deprecated: use AnnotateDoc, which adds cancellation and per-request
+// options. Annotate(text) is exactly AnnotateDoc(context.Background(),
+// text) — the annotations are byte-identical.
+func (s *System) Annotate(text string) []Annotation {
+	doc, err := s.AnnotateDoc(context.Background(), text)
+	if err != nil {
+		return nil // unreachable: background context, no options
+	}
+	return doc.Annotations
+}
+
+// AnnotateBounded is Annotate with an explicit concurrency budget: at most
+// parallelism goroutines score the document's coherence edges (parallelism
+// ≤ 0 keeps the method's own default, GOMAXPROCS). The bound changes
+// scheduling only, never results.
+//
+// Deprecated: use AnnotateDoc with WithParallelism, which is byte-identical.
+func (s *System) AnnotateBounded(text string, parallelism int) []Annotation {
+	doc, err := s.AnnotateDoc(context.Background(), text, WithParallelism(parallelism))
+	if err != nil {
+		return nil // unreachable: background context, valid options
+	}
+	return doc.Annotations
+}
+
+// AnnotateBatch annotates documents concurrently with a bounded worker
+// pool (parallelism ≤ 0 means GOMAXPROCS) and returns the annotations in
+// input order.
+//
+// Deprecated: use AnnotateCorpus with WithParallelism, which adds
+// cancellation and per-request options and is byte-identical.
+func (s *System) AnnotateBatch(docs []string, parallelism int) [][]Annotation {
+	docsOut, err := s.AnnotateCorpus(context.Background(), docs, WithParallelism(parallelism))
+	if err != nil {
+		return nil // unreachable: background context, valid options
+	}
+	out := make([][]Annotation, len(docsOut))
+	for i, d := range docsOut {
+		out[i] = d.Annotations
+	}
+	return out
+}
+
+// AnnotateAll streams annotations for an arbitrary document sequence,
+// yielding (index, annotations) pairs strictly in input order.
+//
+// Deprecated: use AnnotateStream with WithParallelism, which adds
+// cancellation, error reporting and per-request options; the yielded
+// annotations are byte-identical.
+func (s *System) AnnotateAll(docs iter.Seq[string], parallelism int) iter.Seq2[int, []Annotation] {
+	return func(yield func(int, []Annotation) bool) {
+		for doc, err := range s.AnnotateStream(context.Background(), docs, WithParallelism(parallelism)) {
+			if err != nil {
+				return // unreachable: background context, valid options
+			}
+			if !yield(doc.Index, doc.Annotations) {
+				return
+			}
+		}
+	}
+}

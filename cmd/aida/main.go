@@ -15,15 +15,19 @@
 // With -batch the input (stdin or a file named by -in) is treated as
 // multiple documents separated by blank lines; documents are annotated
 // concurrently by -j workers over the system's shared scoring engine and
-// printed in input order.
+// printed in input order. Annotation runs under a signal-aware context:
+// Ctrl-C cancels in-flight scoring instead of waiting for the corpus.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
+	"slices"
 	"strings"
 
 	"aida"
@@ -58,6 +62,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	sys := aida.New(k, aida.WithMethod(m), aida.WithMaxCandidates(20))
 	if *batch {
 		if *mentions != "" {
@@ -67,9 +74,12 @@ func main() {
 		if len(docs) == 0 {
 			log.Fatal("no documents in batch input")
 		}
-		for i, anns := range sys.AnnotateBatch(docs, *workers) {
-			fmt.Printf("# doc %d (%d mentions)\n", i+1, len(anns))
-			for _, a := range anns {
+		for doc, err := range sys.AnnotateStream(ctx, slices.Values(docs), aida.WithParallelism(*workers)) {
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("# doc %d (%d mentions)\n", doc.Index+1, len(doc.Annotations))
+			for _, a := range doc.Annotations {
 				printResult(a.Mention.Text, a.Label, a.Entity, a.Score)
 			}
 		}
@@ -86,7 +96,11 @@ func main() {
 		}
 		return
 	}
-	for _, a := range sys.Annotate(text) {
+	doc, err := sys.AnnotateDoc(ctx, text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range doc.Annotations {
 		printResult(a.Mention.Text, a.Label, a.Entity, a.Score)
 	}
 }

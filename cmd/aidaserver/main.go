@@ -10,14 +10,22 @@
 //
 // Endpoints:
 //
-//	POST /v1/annotate        {"text": "..."}                 one document
-//	POST /v1/annotate/batch  {"docs": [...], "parallelism":N} many documents;
+//	POST /v1/annotate        {"text": "...", "method": "..."}  one document
+//	POST /v1/annotate/batch  {"docs": [...], "parallelism": N,
+//	                          "method": "..."}                 many documents;
 //	                         Accept: application/x-ndjson (or ?stream=1)
 //	                         streams one result line per document
-//	GET  /v1/relatedness     ?kind=KORE&a=1&b=2              entity relatedness
-//	GET  /v1/stats           engine+server counters; ?format=prometheus for
-//	                         the Prometheus text exposition
+//	GET  /v1/relatedness     ?kind=KORE&a=1&b=2                entity relatedness
+//	GET  /v1/stats           engine+server counters (incl. per-endpoint and
+//	                         canceled-request totals); ?format=prometheus
+//	                         for the Prometheus text exposition
 //	GET  /healthz            liveness
+//
+// Every endpoint honors request-context cancellation: when a client
+// disconnects, in-flight scoring is aborted, the request is logged with
+// status 499 and counted in the canceled-request counter. "method"
+// optionally selects the disambiguation method per request (-method only
+// sets the default); the selectors are those of aida.MethodByName.
 //
 // The process drains in-flight requests on SIGINT/SIGTERM (-drain bounds
 // the wait). See docs/API.md for the full request/response reference.

@@ -27,30 +27,44 @@
 //	b.AddKeyphrase(page, "English rock guitarist")
 //	// ... more entities, names, links, keyphrases ...
 //	sys := aida.New(b.Build())
-//	for _, a := range sys.Annotate("Page played his Gibson.") {
+//	doc, err := sys.AnnotateDoc(ctx, "Page played his Gibson.")
+//	if err != nil { ... }
+//	for _, a := range doc.Annotations {
 //		fmt.Println(a.Mention.Text, "→", a.Label)
 //	}
 //
-// # Scoring engine and batch annotation
+// # The request API
+//
+// All annotation goes through three context-aware methods — AnnotateDoc,
+// AnnotateCorpus (a slice, input order) and AnnotateStream (any
+// iter.Seq[string], yielded in input order with memory bounded by the
+// worker count). Canceling the context aborts in-flight scoring promptly
+// and surfaces ctx.Err(). Per-request AnnotateOptions select the method
+// (UseMethod, UseMethodNamed), parallelism (WithParallelism), candidate
+// cap (CapCandidates), surface expansion (SurfaceExpansion) and opt-in
+// result extras (IncludeCandidates, IncludeConfidence, IncludeStats)
+// without touching the System, so one warm process serves heterogeneous
+// traffic:
+//
+//	docs, err := sys.AnnotateCorpus(ctx, texts, aida.WithParallelism(8))
+//	for doc, err := range sys.AnnotateStream(ctx, feed, aida.UseMethodNamed("prior")) { ... }
+//
+// The original Annotate, AnnotateBounded, AnnotateBatch and AnnotateAll
+// remain as deprecated wrappers with byte-identical output.
+//
+// # Scoring engine and deterministic concurrency
 //
 // Every System holds a Scorer: a long-lived, sharded, concurrency-safe
 // engine bound to its KB that interns per-entity keyphrase profiles,
 // memoizes pairwise relatedness for all six measure kinds across
-// documents, and builds each LSH filter once. Single-document Annotate,
+// documents, and builds each LSH filter once. Single-document annotation,
 // System.Relatedness, coherence scoring and the emerging-entity pipeline
 // all draw from it, so repeated candidate entities — the common case over
 // a corpus — are never re-scored.
 //
-// Corpora are annotated concurrently on top of the engine:
-//
-//	results := sys.AnnotateBatch(docs, runtime.GOMAXPROCS(0))
-//	for i, anns := range sys.AnnotateAll(docSeq, 8) { ... }
-//
-// AnnotateBatch fans a slice of documents out to a bounded worker pool;
-// AnnotateAll streams over any iter.Seq[string], yielding results in input
-// order with memory bounded by the worker count. Both are deterministic:
-// the output is byte-identical to a sequential Annotate loop at any
-// parallelism, because the engine memoizes only pure functions of the KB.
+// AnnotateCorpus and AnnotateStream are deterministic: the output is
+// byte-identical to a sequential AnnotateDoc loop at any parallelism,
+// because the engine memoizes only pure functions of the KB.
 //
 // The engine's state is observable: (*Scorer).Stats returns a ScorerStats
 // snapshot with per-measure-kind cache hit/miss counters and the interned
@@ -63,7 +77,10 @@
 // requests, and JSON endpoints expose single-document and batch
 // annotation (including an order-preserving NDJSON stream for large
 // batches), entity relatedness, health, and engine statistics in JSON or
-// Prometheus text form. Because batch annotation is deterministic,
+// Prometheus text form. Requests may select a disambiguation method per
+// call, and a client disconnect cancels the request context all the way
+// into the scoring workers (the abort is visible in the service's
+// canceled-request counter). Because batch annotation is deterministic,
 // service responses are byte-identical to the in-process API at any
 // parallelism, and replicas of the same KB snapshot agree byte-for-byte.
 //

@@ -1,6 +1,7 @@
 package aida_test
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
@@ -69,20 +70,60 @@ func ExampleSystem_Relatedness() {
 	// engine: 0 hits, 4 misses
 }
 
-// ExampleSystem_AnnotateAll streams a document sequence through the
+// ExampleSystem_AnnotateDoc annotates one document through the
+// context-aware request API, selecting the prior-only baseline and the
+// disambiguation work counters for this request only.
+func ExampleSystem_AnnotateDoc() {
+	sys := aida.New(exampleKB())
+	text := "They performed Kashmir, written by Page and Plant."
+
+	doc, err := sys.AnnotateDoc(context.Background(), text)
+	if err != nil {
+		fmt.Println("annotate:", err)
+		return
+	}
+	for _, a := range doc.Annotations {
+		fmt.Printf("aida : %-7s → %s\n", a.Mention.Text, a.Label)
+	}
+
+	// Per-request options never touch the System: the same warm engine
+	// serves a different method on the next call.
+	prior, err := sys.AnnotateDoc(context.Background(), text, aida.UseMethodNamed("prior"))
+	if err != nil {
+		fmt.Println("annotate:", err)
+		return
+	}
+	for _, a := range prior.Annotations {
+		fmt.Printf("prior: %-7s → %s\n", a.Mention.Text, a.Label)
+	}
+	// Output:
+	// aida : Kashmir → Kashmir (song)
+	// aida : Page    → Jimmy Page
+	// aida : Plant   → Robert Plant
+	// prior: Kashmir → Kashmir
+	// prior: Page    → Larry Page
+	// prior: Plant   → Robert Plant
+}
+
+// ExampleSystem_AnnotateStream streams a document sequence through the
 // concurrent annotator: documents are processed by two workers, yet
 // results arrive strictly in input order and are byte-identical to a
-// sequential Annotate loop.
-func ExampleSystem_AnnotateAll() {
+// sequential AnnotateDoc loop. Canceling the context would end the stream
+// with ctx.Err() instead of annotating the remaining documents.
+func ExampleSystem_AnnotateStream() {
 	sys := aida.New(exampleKB())
 	docs := []string{
 		"They performed Kashmir, written by Page and Plant.",
 		"Page played unusual chords with Led Zeppelin.",
 		"Kashmir remains a disputed territory.",
 	}
-	for i, anns := range sys.AnnotateAll(slices.Values(docs), 2) {
-		for _, a := range anns {
-			fmt.Printf("doc %d: %-12s → %s\n", i, a.Mention.Text, a.Label)
+	for doc, err := range sys.AnnotateStream(context.Background(), slices.Values(docs), aida.WithParallelism(2)) {
+		if err != nil {
+			fmt.Println("stream:", err)
+			return
+		}
+		for _, a := range doc.Annotations {
+			fmt.Printf("doc %d: %-12s → %s\n", doc.Index, a.Mention.Text, a.Label)
 		}
 	}
 	// Output:

@@ -67,6 +67,8 @@ func main() {
 	show("GET /healthz", get(base+"/healthz"))
 	show("POST /v1/annotate", post(base+"/v1/annotate", "",
 		`{"text": "They performed Kashmir, written by Page and Plant."}`))
+	show("POST /v1/annotate (per-request method)", post(base+"/v1/annotate", "",
+		`{"text": "They performed Kashmir, written by Page and Plant.", "method": "prior"}`))
 	show("POST /v1/annotate/batch (NDJSON)", post(base+"/v1/annotate/batch", "application/x-ndjson",
 		`{"docs": ["Page played with Led Zeppelin.", "Kashmir is a disputed territory."], "parallelism": 2}`))
 	show(fmt.Sprintf("GET /v1/relatedness?kind=KORE&a=%d&b=%d", jimmy, zep),

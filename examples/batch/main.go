@@ -1,12 +1,15 @@
 // Command batch demonstrates concurrent multi-document annotation over the
-// shared scoring engine: AnnotateBatch for in-memory corpora and the
-// streaming AnnotateAll for indefinite feeds. Both produce exactly the
-// annotations a sequential Annotate loop would, while KB-entity pair
-// relatedness is computed once across the whole run.
+// shared scoring engine: AnnotateCorpus for in-memory corpora and the
+// streaming AnnotateStream for indefinite feeds. Both are cancellable via
+// context and produce exactly the annotations a sequential AnnotateDoc
+// loop would, while KB-entity pair relatedness is computed once across the
+// whole run.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"runtime"
 	"slices"
 
@@ -53,20 +56,35 @@ func main() {
 		"Plant sang while Page played.",
 	}
 
+	// A context bounds every request; cancel it (timeout, Ctrl-C, client
+	// disconnect) and in-flight scoring stops promptly with ctx.Err().
+	ctx := context.Background()
+
 	// Fixed corpus: fan out across all cores, results in input order.
-	fmt.Println("== AnnotateBatch ==")
-	for i, anns := range sys.AnnotateBatch(docs, runtime.GOMAXPROCS(0)) {
-		for _, a := range anns {
-			fmt.Printf("doc %d: %-10s → %s\n", i, a.Mention.Text, a.Label)
+	fmt.Println("== AnnotateCorpus ==")
+	corpus, err := sys.AnnotateCorpus(ctx, docs, aida.WithParallelism(runtime.GOMAXPROCS(0)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, doc := range corpus {
+		for _, a := range doc.Annotations {
+			fmt.Printf("doc %d: %-10s → %s\n", doc.Index, a.Mention.Text, a.Label)
 		}
 	}
 
 	// Streaming: documents are annotated concurrently but yielded in
 	// order, each as soon as it and its predecessors are ready. Any
 	// iter.Seq[string] works (a channel drain, a file scanner, ...).
-	fmt.Println("== AnnotateAll ==")
-	for i, anns := range sys.AnnotateAll(slices.Values(docs), 2) {
-		fmt.Printf("doc %d: %d mentions\n", i, len(anns))
+	// Per-request options ride along: here the prior-only baseline plus
+	// the disambiguation work counters.
+	fmt.Println("== AnnotateStream ==")
+	for doc, err := range sys.AnnotateStream(ctx, slices.Values(docs),
+		aida.WithParallelism(2), aida.UseMethodNamed("prior"), aida.IncludeStats()) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("doc %d: %d mentions (%d comparisons)\n",
+			doc.Index, len(doc.Annotations), doc.Stats.Comparisons)
 	}
 
 	// The engine kept every cross-document pair computation.

@@ -4,7 +4,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"aida"
 )
@@ -60,7 +62,12 @@ func main() {
 	text := "They performed Kashmir, written by Page and Plant. Page played unusual chords on his Gibson."
 	fmt.Println(text)
 	fmt.Println()
-	for _, a := range sys.Annotate(text) {
+	ctx := context.Background()
+	doc, err := sys.AnnotateDoc(ctx, text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range doc.Annotations {
 		label := a.Label
 		if a.Entity == aida.NoEntity {
 			label = "<out-of-KB>"
@@ -68,11 +75,14 @@ func main() {
 		fmt.Printf("  %-10s → %s\n", a.Mention.Text, label)
 	}
 
-	// The popularity prior alone would have chosen differently:
+	// The popularity prior alone would have chosen differently — selected
+	// per request, no second System needed:
 	fmt.Println("\nprior-only baseline for comparison:")
-	prior := aida.Baselines()[5] // "prior"
-	sysPrior := aida.New(sys.KB, aida.WithMethod(prior))
-	for _, a := range sysPrior.Annotate(text) {
+	priorDoc, err := sys.AnnotateDoc(ctx, text, aida.UseMethodNamed("prior"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range priorDoc.Annotations {
 		fmt.Printf("  %-10s → %s\n", a.Mention.Text, a.Label)
 	}
 }

@@ -204,8 +204,26 @@ func (a *AIDA) Disambiguate(p *Problem) *Output {
 		}
 	}
 
+	// abstainFrom fills the not-yet-decided tail of the results with
+	// well-formed abstain entries (CandidateIndex -1, NoEntity), so that a
+	// cancellation-truncated output never carries zero values a reader
+	// could mistake for "candidate 0 chosen".
+	abstainFrom := func(start int) {
+		for i := start; i < len(p.Mentions); i++ {
+			out.Results[i] = emptyResult(i, &p.Mentions[i])
+		}
+	}
+
 	scorer := newCohScorer(a.Config.Measure, p)
 	g, candOf := a.buildGraph(p, weights, fixed, scorer)
+	if p.Ctx().Err() != nil {
+		// Canceled while scoring coherence edges: stop promptly. The
+		// output is incomplete and the caller must discard it after
+		// checking the context's error.
+		abstainFrom(0)
+		out.Stats.Comparisons = scorer.comparisons
+		return out
+	}
 	res := graph.Solve(g, a.Config.Graph)
 
 	out.Stats.Comparisons = scorer.comparisons
@@ -213,6 +231,10 @@ func (a *AIDA) Disambiguate(p *Problem) *Output {
 
 	gamma := a.Config.gamma()
 	for i := range p.Mentions {
+		if p.Ctx().Err() != nil {
+			abstainFrom(i)
+			return out
+		}
 		m := &p.Mentions[i]
 		chosen := -1
 		if res.Assignment[i] >= 0 {
@@ -334,7 +356,12 @@ func (a *AIDA) buildGraph(p *Problem, weights [][]float64, fixed []int, scorer *
 	if p.CoherenceWorkers > 0 {
 		workers = p.CoherenceWorkers
 	}
-	scorer.scoreAll(candPairs, workers)
+	if err := scorer.scoreAll(p.Ctx(), candPairs, workers); err != nil {
+		// Canceled: return the graph without entity edges instead of
+		// recomputing the missing pairs sequentially below. The caller
+		// (Disambiguate) bails out before solving.
+		return g, candOf
+	}
 	var eeSum float64
 	var eeCount int
 	type eeEdge struct {

@@ -1,6 +1,7 @@
 package disambig
 
 import (
+	"context"
 	"sync"
 
 	"aida/internal/kb"
@@ -224,12 +225,15 @@ const minParallelPairs = 32
 // scoreAll warms the pair cache for the given candidate pairs with up to
 // workers goroutines. Because score memoizes pure per-pair values and the
 // comparison counter advances once per distinct pair, the resulting cache
-// and stats are identical to evaluating the pairs sequentially.
-func (s *cohScorer) scoreAll(pairs [][2]*Candidate, workers int) {
+// and stats are identical to evaluating the pairs sequentially. When ctx
+// is canceled the workers stop handing out pairs promptly and ctx.Err()
+// is returned; the partially warmed cache is still consistent.
+func (s *cohScorer) scoreAll(ctx context.Context, pairs [][2]*Candidate, workers int) error {
 	if len(pairs) < minParallelPairs {
 		workers = 1
 	}
-	pool.ForEach(len(pairs), workers, func(i int) {
+	return pool.ForEachCtx(ctx, len(pairs), workers, func(i int) error {
 		s.score(pairs[i][0], pairs[i][1])
+		return nil
 	})
 }

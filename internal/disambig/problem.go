@@ -12,6 +12,8 @@
 package disambig
 
 import (
+	"context"
+
 	"aida/internal/kb"
 	"aida/internal/relatedness"
 	"aida/internal/textstat"
@@ -72,8 +74,21 @@ type Problem struct {
 	// document-level fan-out is not compounded by per-document pools
 	// (results are identical at any setting; only scheduling changes).
 	CoherenceWorkers int
+	// Context carries per-request cancellation into the method. Methods
+	// with expensive phases (coherence-edge scoring) observe it and stop
+	// promptly, returning an incomplete Output the caller must discard
+	// after checking Context.Err(). Nil means never canceled.
+	Context context.Context
 
 	matcher *textstat.Matcher
+}
+
+// Ctx is the nil-safe accessor for Problem.Context.
+func (p *Problem) Ctx() context.Context {
+	if p.Context == nil {
+		return context.Background()
+	}
+	return p.Context
 }
 
 // Matcher returns the lazily built cover matcher over the context words.
@@ -153,6 +168,7 @@ func (p *Problem) Clone() *Problem {
 		TotalEntities:    p.TotalEntities,
 		Scorer:           p.Scorer,
 		CoherenceWorkers: p.CoherenceWorkers,
+		Context:          p.Context,
 		matcher:          p.matcher,
 	}
 	for i, m := range p.Mentions {

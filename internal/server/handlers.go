@@ -43,10 +43,35 @@ func wireAnnotations(anns []aida.Annotation) []Annotation {
 
 type annotateRequest struct {
 	Text string `json:"text"`
+	// Method selects the disambiguation method for this request only
+	// (the selectors of aida.MethodByName; empty = the server's default
+	// method). No process restart needed to compare methods.
+	Method string `json:"method"`
+	// Parallelism caps this request's coherence-edge worker pool; 0 uses
+	// the server default, values above the server cap are clamped. It
+	// never changes the response bytes, only the scheduling.
+	Parallelism int `json:"parallelism"`
 }
 
 type annotateResponse struct {
 	Annotations []Annotation `json:"annotations"`
+}
+
+// annotateOptions validates the per-request method and parallelism fields
+// and turns them into request options for the context-aware API. It
+// writes the 400 itself and reports ok=false when the method name is
+// unknown.
+func (s *Server) annotateOptions(w http.ResponseWriter, method string, parallelism int) ([]aida.AnnotateOption, bool) {
+	opts := []aida.AnnotateOption{aida.WithParallelism(s.clampParallelism(parallelism))}
+	if method != "" {
+		m, err := aida.MethodByName(method)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return nil, false
+		}
+		opts = append(opts, aida.UseMethod(m))
+	}
+	return opts, true
 }
 
 func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
@@ -54,16 +79,29 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	// The default-parallelism clamp applies to single documents too: the
+	// The parallelism clamp applies to single documents too: the
 	// coherence pool is the only intra-document fan-out, so bounding it
 	// honors the operator's MaxParallelism under concurrent requests.
-	anns := s.sys.AnnotateBounded(req.Text, s.clampParallelism(0))
+	opts, ok := s.annotateOptions(w, req.Method, req.Parallelism)
+	if !ok {
+		return
+	}
+	doc, err := s.sys.AnnotateDoc(r.Context(), req.Text, opts...)
+	if err != nil {
+		if !s.noteCanceled(w, r, err) {
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
 	s.documents.Add(1)
-	writeJSON(w, http.StatusOK, annotateResponse{Annotations: wireAnnotations(anns)})
+	writeJSON(w, http.StatusOK, annotateResponse{Annotations: wireAnnotations(doc.Annotations)})
 }
 
 type batchRequest struct {
 	Docs []string `json:"docs"`
+	// Method selects the disambiguation method for this request only
+	// (empty = the server's default method).
+	Method string `json:"method"`
 	// Parallelism is the per-request worker count; 0 uses the server
 	// default, values above the server cap are clamped. It never changes
 	// the response bytes, only the scheduling.
@@ -95,20 +133,33 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch of %d documents exceeds the limit of %d", len(req.Docs), s.cfg.MaxBatchDocs))
 		return
 	}
-	parallelism := s.clampParallelism(req.Parallelism)
+	opts, ok := s.annotateOptions(w, req.Method, req.Parallelism)
+	if !ok {
+		return
+	}
 
 	if wantsNDJSON(r) {
 		// Stream one line per document as soon as it and its
 		// predecessors are annotated; memory stays bounded by the worker
-		// count instead of the batch size.
+		// count instead of the batch size. A client disconnect cancels
+		// r.Context(), which aborts the in-flight scoring workers.
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
 		flusher, _ := w.(http.Flusher)
 		enc := json.NewEncoder(w)
-		for i, anns := range s.sys.AnnotateAll(slices.Values(req.Docs), parallelism) {
+		for doc, err := range s.sys.AnnotateStream(r.Context(), slices.Values(req.Docs), opts...) {
+			if err != nil {
+				s.noteCanceled(w, r, err)
+				return
+			}
 			s.documents.Add(1)
-			if err := enc.Encode(batchLine{Index: i, Annotations: wireAnnotations(anns)}); err != nil {
-				return // client went away; AnnotateAll's workers stop with us
+			if err := enc.Encode(batchLine{Index: doc.Index, Annotations: wireAnnotations(doc.Annotations)}); err != nil {
+				// Client went away mid-stream; the stream's workers stop
+				// with us. Count the disconnect if the context confirms it.
+				if cerr := r.Context().Err(); cerr != nil {
+					s.noteCanceled(w, r, cerr)
+				}
+				return
 			}
 			if flusher != nil {
 				flusher.Flush()
@@ -117,9 +168,16 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	results := make([][]Annotation, len(req.Docs))
-	for i, anns := range s.sys.AnnotateBatch(req.Docs, parallelism) {
-		results[i] = wireAnnotations(anns)
+	docs, err := s.sys.AnnotateCorpus(r.Context(), req.Docs, opts...)
+	if err != nil {
+		if !s.noteCanceled(w, r, err) {
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	results := make([][]Annotation, len(docs))
+	for i, doc := range docs {
+		results[i] = wireAnnotations(doc.Annotations)
 	}
 	s.documents.Add(int64(len(req.Docs)))
 	writeJSON(w, http.StatusOK, batchResponse{Results: results})
@@ -145,7 +203,23 @@ type relatednessResponse struct {
 	Relatedness float64       `json:"relatedness"`
 }
 
+// clientGone reports whether the request was already abandoned by its
+// client (the request context is canceled). The cheap endpoints check it
+// on entry so an aborted request is counted as canceled instead of being
+// served into the void; the annotation endpoints get the same check from
+// AnnotateDoc/AnnotateCorpus/AnnotateStream.
+func (s *Server) clientGone(w http.ResponseWriter, r *http.Request) bool {
+	if err := r.Context().Err(); err != nil {
+		s.noteCanceled(w, r, err)
+		return true
+	}
+	return false
+}
+
 func (s *Server) handleRelatedness(w http.ResponseWriter, r *http.Request) {
+	if s.clientGone(w, r) {
+		return
+	}
 	q := r.URL.Query()
 	kind, err := aida.ParseRelatednessKind(q.Get("kind"))
 	if err != nil {
@@ -197,6 +271,12 @@ type serverStats struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Requests      int64   `json:"requests"`
 	Documents     int64   `json:"documents"`
+	// Canceled counts requests abandoned mid-flight because the client
+	// disconnected (the new cancellation path).
+	Canceled int64 `json:"canceled"`
+	// RequestsByEndpoint breaks Requests down per routed path (unrouted
+	// paths — 404s — are only in the total).
+	RequestsByEndpoint map[string]int64 `json:"requests_by_endpoint"`
 }
 
 type kbStats struct {
@@ -204,11 +284,17 @@ type kbStats struct {
 }
 
 func (s *Server) statsSnapshot() statsResponse {
+	byEndpoint := make(map[string]int64, len(endpoints))
+	for _, e := range endpoints {
+		byEndpoint[e] = s.byEndpoint[e].Load()
+	}
 	return statsResponse{
 		Server: serverStats{
-			UptimeSeconds: time.Since(s.start).Seconds(),
-			Requests:      s.requests.Load(),
-			Documents:     s.documents.Load(),
+			UptimeSeconds:      time.Since(s.start).Seconds(),
+			Requests:           s.requests.Load(),
+			Documents:          s.documents.Load(),
+			Canceled:           s.canceled.Load(),
+			RequestsByEndpoint: byEndpoint,
 		},
 		Engine: s.sys.Scorer().Stats(),
 		KB:     kbStats{Entities: s.sys.KB.NumEntities()},
@@ -216,6 +302,9 @@ func (s *Server) statsSnapshot() statsResponse {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if s.clientGone(w, r) {
+		return
+	}
 	if wantsPrometheus(r) {
 		s.writeMetrics(w)
 		return
@@ -238,6 +327,9 @@ type healthResponse struct {
 	Entities int    `json:"entities"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.clientGone(w, r) {
+		return
+	}
 	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Entities: s.sys.KB.NumEntities()})
 }

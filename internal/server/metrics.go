@@ -19,6 +19,13 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 		"HTTP requests served across all endpoints.", float64(st.Server.Requests))
 	writeMetric(w, "aida_server_documents_total", "counter",
 		"Documents annotated by the annotate endpoints.", float64(st.Server.Documents))
+	writeMetric(w, "aida_server_requests_canceled_total", "counter",
+		"Requests abandoned mid-flight because the client disconnected.", float64(st.Server.Canceled))
+	header(w, "aida_server_endpoint_requests_total", "counter",
+		"HTTP requests served, by routed endpoint.")
+	for _, e := range endpoints {
+		fmt.Fprintf(w, "aida_server_endpoint_requests_total{endpoint=%q} %d\n", e, st.Server.RequestsByEndpoint[e])
+	}
 	writeMetric(w, "aida_kb_entities", "gauge",
 		"Entities in the loaded knowledge base.", float64(st.KB.Entities))
 	writeMetric(w, "aida_engine_profiles", "gauge",

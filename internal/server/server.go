@@ -67,6 +67,20 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// endpoints are the routed paths, in the order counters are reported.
+var endpoints = []string{
+	"/v1/annotate",
+	"/v1/annotate/batch",
+	"/v1/relatedness",
+	"/v1/stats",
+	"/healthz",
+}
+
+// statusClientClosedRequest is the (nginx-convention) status logged when a
+// request is abandoned because the client went away; nothing is written to
+// the wire, as there is no client left to read it.
+const statusClientClosedRequest = 499
+
 // Server is the HTTP front-end over one shared aida.System. All state it
 // adds on top of the system is monotonic counters, so a Server is safe for
 // concurrent use by construction.
@@ -76,15 +90,38 @@ type Server struct {
 	log   *slog.Logger
 	start time.Time
 
-	requests  atomic.Int64 // HTTP requests served (any endpoint)
-	documents atomic.Int64 // documents annotated
+	requests   atomic.Int64 // HTTP requests served (any endpoint)
+	documents  atomic.Int64 // documents annotated
+	canceled   atomic.Int64 // requests abandoned because the client disconnected
+	byEndpoint map[string]*atomic.Int64
 }
 
 // New wraps a system in a Server. The system's scoring engine is shared
 // across all requests, so the service gets warmer with traffic.
 func New(sys *aida.System, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{sys: sys, cfg: cfg, log: cfg.Logger, start: time.Now()}
+	s := &Server{sys: sys, cfg: cfg, log: cfg.Logger, start: time.Now(),
+		byEndpoint: make(map[string]*atomic.Int64, len(endpoints))}
+	for _, e := range endpoints {
+		s.byEndpoint[e] = new(atomic.Int64)
+	}
+	return s
+}
+
+// noteCanceled records a request abandoned mid-flight because its context
+// was canceled (client disconnect or shutdown): the cancellation counter
+// moves and the access log shows status 499. It reports whether err was in
+// fact a cancellation; any other error is left to the caller.
+func (s *Server) noteCanceled(w http.ResponseWriter, r *http.Request, err error) bool {
+	if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	s.canceled.Add(1)
+	s.log.Info("request canceled", "path", r.URL.Path, "err", err)
+	if lw, ok := w.(*loggingWriter); ok {
+		lw.status = statusClientClosedRequest
+	}
+	return true
 }
 
 // Handler returns the service's routing handler with request logging and
@@ -129,10 +166,14 @@ func (s *Server) Serve(ctx context.Context, l net.Listener, drain time.Duration)
 	return nil
 }
 
-// logged wraps next with request counting and structured access logging.
+// logged wraps next with request counting (total and per endpoint) and
+// structured access logging.
 func (s *Server) logged(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		if c := s.byEndpoint[r.URL.Path]; c != nil {
+			c.Add(1)
+		}
 		lw := &loggingWriter{ResponseWriter: w, status: http.StatusOK}
 		t0 := time.Now()
 		next.ServeHTTP(lw, r)

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"aida"
 	"aida/internal/wiki"
@@ -302,6 +304,15 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.Server.Requests < 1 || st.Server.Documents != int64(len(docs)) {
 		t.Errorf("server counters: %+v", st.Server)
 	}
+	if st.Server.RequestsByEndpoint["/v1/annotate/batch"] != 1 {
+		t.Errorf("per-endpoint counters: %+v", st.Server.RequestsByEndpoint)
+	}
+	if got := len(st.Server.RequestsByEndpoint); got != len(endpoints) {
+		t.Errorf("%d endpoint counters reported, want %d", got, len(endpoints))
+	}
+	if st.Server.Canceled != 0 {
+		t.Errorf("canceled = %d with no disconnects", st.Server.Canceled)
+	}
 	if st.KB.Entities != k.NumEntities() {
 		t.Errorf("kb entities = %d, want %d", st.KB.Entities, k.NumEntities())
 	}
@@ -320,6 +331,9 @@ func TestStatsEndpoint(t *testing.T) {
 	for _, metric := range []string{
 		"aida_server_requests_total",
 		"aida_server_documents_total",
+		"aida_server_requests_canceled_total",
+		`aida_server_endpoint_requests_total{endpoint="/v1/annotate/batch"} 1`,
+		`aida_server_endpoint_requests_total{endpoint="/healthz"}`,
 		"aida_kb_entities",
 		"aida_engine_profiles",
 		"aida_engine_profile_bytes",
@@ -349,6 +363,189 @@ func TestHealthz(t *testing.T) {
 	}
 	if h.Status != "ok" || h.Entities != k.NumEntities() {
 		t.Errorf("health = %+v", h)
+	}
+}
+
+// TestPerRequestMethod checks the "method" request field: the response
+// must match an in-process system running that method, the default stays
+// the server's method, and unknown names are a 400.
+func TestPerRequestMethod(t *testing.T) {
+	k, docs := testWorld(t, 3)
+	_, ts := newTestServer(t, k, Config{})
+
+	prior, err := aida.MethodByName("prior")
+	if err != nil {
+		t.Fatal(err)
+	}
+	priorSys := aida.New(k, aida.WithMethod(prior), aida.WithMaxCandidates(10))
+	for _, doc := range docs {
+		resp := postJSON(t, ts.URL+"/v1/annotate", annotateRequest{Text: doc, Method: "PRIOR"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var got struct {
+			Annotations json.RawMessage `json:"annotations"`
+		}
+		if err := json.Unmarshal(readAll(t, resp), &got); err != nil {
+			t.Fatal(err)
+		}
+		if want := expectedWire(t, priorSys, doc); !bytes.Equal(got.Annotations, want) {
+			t.Errorf("method=PRIOR diverges from an in-process prior system:\n got %s\nwant %s", got.Annotations, want)
+		}
+	}
+
+	// The per-request override must not stick to the shared system.
+	resp := postJSON(t, ts.URL+"/v1/annotate", annotateRequest{Text: docs[0]})
+	var got struct {
+		Annotations json.RawMessage `json:"annotations"`
+	}
+	if err := json.Unmarshal(readAll(t, resp), &got); err != nil {
+		t.Fatal(err)
+	}
+	if want := expectedWire(t, aida.New(k, aida.WithMaxCandidates(10)), docs[0]); !bytes.Equal(got.Annotations, want) {
+		t.Error("default method changed after a per-request override")
+	}
+
+	// Batch accepts the same field.
+	bresp := postJSON(t, ts.URL+"/v1/annotate/batch", batchRequest{Docs: docs[:1], Method: "prior"})
+	var bgot struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(readAll(t, bresp), &bgot); err != nil {
+		t.Fatal(err)
+	}
+	if want := expectedWire(t, priorSys, docs[0]); len(bgot.Results) != 1 || !bytes.Equal(bgot.Results[0], want) {
+		t.Error("batch method=prior diverges from an in-process prior system")
+	}
+
+	for _, body := range []any{
+		annotateRequest{Text: docs[0], Method: "bogus"},
+		batchRequest{Docs: docs[:1], Method: "bogus"},
+	} {
+		url := ts.URL + "/v1/annotate"
+		if _, ok := body.(batchRequest); ok {
+			url += "/batch"
+		}
+		resp := postJSON(t, url, body)
+		if b := readAll(t, resp); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("unknown method: status %d (body %s), want 400", resp.StatusCode, b)
+		}
+	}
+}
+
+// TestCanceledContextAbortsEveryEndpoint drives each /v1/* endpoint (and
+// /healthz) with an already-canceled request context: every handler must
+// abort without writing a response body and the canceled-request counter
+// must move once per request. This is the deterministic half of the
+// client-disconnect verification; TestClientDisconnectCancelsBatch covers
+// the real-socket half.
+func TestCanceledContextAbortsEveryEndpoint(t *testing.T) {
+	k, docs := testWorld(t, 2)
+	sys := aida.New(k, aida.WithMaxCandidates(10))
+	srv := New(sys, Config{Logger: quietLogger()})
+	h := srv.Handler()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	requests := []*http.Request{
+		httptest.NewRequest("POST", "/v1/annotate", bytes.NewReader(mustJSON(t, annotateRequest{Text: docs[0]}))),
+		httptest.NewRequest("POST", "/v1/annotate/batch", bytes.NewReader(mustJSON(t, batchRequest{Docs: docs}))),
+		httptest.NewRequest("POST", "/v1/annotate/batch?stream=1", bytes.NewReader(mustJSON(t, batchRequest{Docs: docs}))),
+		httptest.NewRequest("GET", "/v1/relatedness?kind=MW&a=0&b=1", nil),
+		httptest.NewRequest("GET", "/v1/stats", nil),
+		httptest.NewRequest("GET", "/healthz", nil),
+	}
+	for i, req := range requests {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req.WithContext(ctx))
+		if got := srv.canceled.Load(); got != int64(i+1) {
+			t.Fatalf("%s %s: canceled counter = %d, want %d", req.Method, req.URL, got, i+1)
+		}
+	}
+	if docsDone := srv.documents.Load(); docsDone != 0 {
+		t.Errorf("%d documents annotated despite canceled contexts", docsDone)
+	}
+
+	// The canceled path must be visible in both stats renderings.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+	var st statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Server.Canceled != int64(len(requests)) {
+		t.Errorf("stats canceled = %d, want %d", st.Server.Canceled, len(requests))
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats?format=prometheus", nil))
+	if want := fmt.Sprintf("aida_server_requests_canceled_total %d", len(requests)); !strings.Contains(rec.Body.String(), want) {
+		t.Errorf("prometheus output missing %q", want)
+	}
+}
+
+func mustJSON(t testing.TB, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestClientDisconnectCancelsBatch is the real-socket disconnect test: a
+// client starts a large NDJSON batch, reads one line and hangs up. The
+// server must observe the vanished client through the request context,
+// abort the in-flight scoring, and count the cancellation.
+func TestClientDisconnectCancelsBatch(t *testing.T) {
+	k, docs := testWorld(t, 4)
+	_, ts := newTestServer(t, k, Config{MaxBatchDocs: 4096})
+
+	// A batch big enough that it cannot complete while we hang up.
+	big := make([]string, 2000)
+	for i := range big {
+		big[i] = docs[i%len(docs)]
+	}
+	body := mustJSON(t, batchRequest{Docs: big, Parallelism: 1})
+	req, err := http.NewRequest("POST", ts.URL+"/v1/annotate/batch", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// Read one streamed line, then hang up mid-batch.
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(resp.Body, buf); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// The server notices the disconnect on its next write or ctx check;
+	// poll the stats endpoint until the cancellation is recorded.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		statsResp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st statsResponse
+		if err := json.Unmarshal(readAll(t, statsResp), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Server.Canceled >= 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled counter never moved after client disconnect; stats = %+v", st.Server)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,346 @@
+package aida
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"slices"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDeprecatedWrappersByteIdentical pins the compatibility contract of
+// the API redesign: Annotate, AnnotateBounded, AnnotateBatch and
+// AnnotateAll must produce exactly the annotations of the context-aware
+// AnnotateDoc/AnnotateCorpus/AnnotateStream they now wrap, at any
+// parallelism.
+func TestDeprecatedWrappersByteIdentical(t *testing.T) {
+	k, docs := batchWorld(t, 8)
+	ctx := context.Background()
+
+	for _, parallelism := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		sys := New(k, WithMaxCandidates(10))
+
+		corpus, err := sys.AnnotateCorpus(ctx, docs, WithParallelism(parallelism))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := sys.AnnotateBatch(docs, parallelism)
+		for i := range docs {
+			if corpus[i].Index != i {
+				t.Fatalf("parallelism=%d: corpus doc %d has index %d", parallelism, i, corpus[i].Index)
+			}
+			if !reflect.DeepEqual(corpus[i].Annotations, batch[i]) {
+				t.Fatalf("parallelism=%d doc %d: AnnotateCorpus diverges from AnnotateBatch", parallelism, i)
+			}
+		}
+
+		single := sys.Annotate(docs[0])
+		doc, err := sys.AnnotateDoc(ctx, docs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(single, doc.Annotations) {
+			t.Fatalf("AnnotateDoc diverges from Annotate")
+		}
+		bounded := sys.AnnotateBounded(docs[0], parallelism)
+		bdoc, err := sys.AnnotateDoc(ctx, docs[0], WithParallelism(parallelism))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(bounded, bdoc.Annotations) {
+			t.Fatalf("parallelism=%d: AnnotateDoc diverges from AnnotateBounded", parallelism)
+		}
+
+		var streamed [][]Annotation
+		for d, err := range sys.AnnotateStream(ctx, slices.Values(docs), WithParallelism(parallelism)) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Index != len(streamed) {
+				t.Fatalf("parallelism=%d: stream yielded index %d at position %d", parallelism, d.Index, len(streamed))
+			}
+			streamed = append(streamed, d.Annotations)
+		}
+		var all [][]Annotation
+		for _, anns := range sys.AnnotateAll(slices.Values(docs), parallelism) {
+			all = append(all, anns)
+		}
+		if !reflect.DeepEqual(streamed, all) {
+			t.Fatalf("parallelism=%d: AnnotateStream diverges from AnnotateAll", parallelism)
+		}
+	}
+}
+
+// TestAnnotateCanceledBeforeStart checks that an already-canceled context
+// annotates nothing: every entry point returns ctx.Err() and the engine
+// shows no scoring work.
+func TestAnnotateCanceledBeforeStart(t *testing.T) {
+	k, docs := batchWorld(t, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	for _, parallelism := range []int{1, 4} {
+		sys := New(k, WithMaxCandidates(10))
+		if _, err := sys.AnnotateDoc(ctx, docs[0]); !errors.Is(err, context.Canceled) {
+			t.Fatalf("AnnotateDoc err = %v, want context.Canceled", err)
+		}
+		if got, err := sys.AnnotateCorpus(ctx, docs, WithParallelism(parallelism)); !errors.Is(err, context.Canceled) || got != nil {
+			t.Fatalf("parallelism=%d: AnnotateCorpus = (%v, %v), want (nil, context.Canceled)", parallelism, got, err)
+		}
+		yields := 0
+		for doc, err := range sys.AnnotateStream(ctx, slices.Values(docs), WithParallelism(parallelism)) {
+			yields++
+			if doc != nil || !errors.Is(err, context.Canceled) {
+				t.Fatalf("parallelism=%d: stream yielded (%v, %v), want (nil, context.Canceled)", parallelism, doc, err)
+			}
+		}
+		if yields != 1 {
+			t.Fatalf("parallelism=%d: canceled stream yielded %d times, want exactly the error", parallelism, yields)
+		}
+		if hits, misses := sys.Scorer().CacheStats(); hits+misses != 0 {
+			t.Fatalf("parallelism=%d: engine did %d pair computations after cancellation", parallelism, hits+misses)
+		}
+	}
+}
+
+// TestAnnotateStreamMidwayCancel cancels after the first yielded document
+// and checks the stream (a) ends with ctx.Err() and (b) stops pulling
+// input instead of draining the whole feed.
+func TestAnnotateStreamMidwayCancel(t *testing.T) {
+	k, docs := batchWorld(t, 4)
+	// A long feed that cycles the corpus; pulls are counted atomically
+	// because the stream's producer goroutine runs the feed.
+	const feedLen = 10_000
+	var pulled atomic.Int64
+	feed := func(yield func(string) bool) {
+		for i := 0; i < feedLen; i++ {
+			pulled.Add(1)
+			if !yield(docs[i%len(docs)]) {
+				return
+			}
+		}
+	}
+
+	for _, parallelism := range []int{1, 4} {
+		sys := New(k, WithMaxCandidates(10))
+		ctx, cancel := context.WithCancel(context.Background())
+		pulled.Store(0)
+		var sawErr error
+		yielded := 0
+		for doc, err := range sys.AnnotateStream(ctx, feed, WithParallelism(parallelism)) {
+			if err != nil {
+				sawErr = err
+				break
+			}
+			_ = doc
+			yielded++
+			cancel()
+		}
+		cancel()
+		if !errors.Is(sawErr, context.Canceled) {
+			t.Fatalf("parallelism=%d: stream ended with %v after %d docs, want context.Canceled", parallelism, sawErr, yielded)
+		}
+		if n := pulled.Load(); n >= feedLen {
+			t.Fatalf("parallelism=%d: canceled stream drained the whole %d-document feed", parallelism, feedLen)
+		}
+	}
+}
+
+// TestAnnotateStreamEarlyBreakLeaksNoGoroutines pins the stream's cleanup:
+// breaking out of the range loop must wind down the producer and workers.
+func TestAnnotateStreamEarlyBreakLeaksNoGoroutines(t *testing.T) {
+	k, docs := batchWorld(t, 10)
+	sys := New(k, WithMaxCandidates(10))
+	before := runtime.NumGoroutine()
+
+	for round := 0; round < 3; round++ {
+		n := 0
+		for doc, err := range sys.AnnotateStream(context.Background(), slices.Values(docs), WithParallelism(4)) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = doc
+			n++
+			if n == 2 {
+				break
+			}
+		}
+		if n != 2 {
+			t.Fatalf("round %d: early break consumed %d docs", round, n)
+		}
+	}
+
+	// Workers drain asynchronously after the break; give them a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after early breaks", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAnnotateOptionsPerRequest checks that options change one request
+// without touching the System, and that the opt-in extras are populated.
+func TestAnnotateOptionsPerRequest(t *testing.T) {
+	k, docs := batchWorld(t, 2)
+	ctx := context.Background()
+	sys := New(k, WithMaxCandidates(10))
+
+	def, err := sys.AnnotateDoc(ctx, docs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Candidates != nil || def.Confidence != nil || def.Stats != nil {
+		t.Fatalf("extras must be opt-in; got %+v", def)
+	}
+
+	// Per-request method matches a System constructed with that method.
+	prior, _ := MethodByName("prior")
+	want := New(k, WithMethod(prior), WithMaxCandidates(10)).Annotate(docs[0])
+	got, err := sys.AnnotateDoc(ctx, docs[0], UseMethodNamed("prior"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Annotations, want) {
+		t.Fatal("UseMethodNamed(prior) diverges from a prior-method System")
+	}
+	// ... and the System's own method is untouched.
+	after, err := sys.AnnotateDoc(ctx, docs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after.Annotations, def.Annotations) {
+		t.Fatal("a per-request method leaked into the System")
+	}
+
+	if _, err := sys.AnnotateDoc(ctx, docs[0], UseMethodNamed("bogus")); err == nil ||
+		!strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("unknown method name: err = %v", err)
+	}
+
+	// Candidate cap: matches a System with that cap.
+	capped, err := sys.AnnotateDoc(ctx, docs[0], CapCandidates(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := New(k, WithMaxCandidates(1)).Annotate(docs[0]); !reflect.DeepEqual(capped.Annotations, want) {
+		t.Fatal("CapCandidates(1) diverges from a MaxCandidates(1) System")
+	}
+
+	// Extras: candidates, confidence and stats ride along on request.
+	rich, err := sys.AnnotateDoc(ctx, docs[0], IncludeCandidates(), IncludeConfidence(5, 42), IncludeStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rich.Annotations) == 0 {
+		t.Fatal("test document produced no annotations")
+	}
+	if len(rich.Candidates) != len(rich.Annotations) || len(rich.Confidence) != len(rich.Annotations) {
+		t.Fatalf("extras misaligned: %d mentions, %d candidate lists, %d confidences",
+			len(rich.Annotations), len(rich.Candidates), len(rich.Confidence))
+	}
+	if rich.Stats == nil || rich.Stats.Comparisons == 0 {
+		t.Fatalf("Stats = %+v, want populated comparison counter", rich.Stats)
+	}
+	for i, conf := range rich.Confidence {
+		if conf < 0 || conf > 1 {
+			t.Fatalf("confidence[%d] = %v out of [0,1]", i, conf)
+		}
+	}
+	anyCand := false
+	for i, cands := range rich.Candidates {
+		for _, c := range cands {
+			anyCand = true
+			if c.Label == "" {
+				t.Fatalf("mention %d: candidate with empty label: %+v", i, c)
+			}
+		}
+	}
+	if !anyCand {
+		t.Fatal("no candidates reported for any mention")
+	}
+	// The extras never change the annotations themselves.
+	if !reflect.DeepEqual(rich.Annotations, def.Annotations) {
+		t.Fatal("opt-in extras changed the annotations")
+	}
+
+	// IncludeConfidence matches the standalone Confidence helper.
+	p := sys.NewProblem(docs[0], surfacesOf(rich.Annotations))
+	out := sys.Method.Disambiguate(p)
+	if want := sys.Confidence(p, out, 5, 42); !reflect.DeepEqual(rich.Confidence, want) {
+		t.Fatalf("IncludeConfidence = %v, want %v", rich.Confidence, want)
+	}
+}
+
+func surfacesOf(anns []Annotation) []string {
+	out := make([]string, len(anns))
+	for i, a := range anns {
+		out[i] = a.Mention.Text
+	}
+	return out
+}
+
+// TestMethodTable enumerates every selector MethodByName accepts: each
+// must resolve case-insensitively, the empty string must mean "aida", and
+// the baseline-backed selectors must name methods of Baselines().
+func TestMethodTable(t *testing.T) {
+	names := MethodNames()
+	if len(names) == 0 {
+		t.Fatal("MethodNames is empty")
+	}
+	want := []string{"aida", "cuc", "iw", "kul-ci", "prior", "sim", "tagme"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("MethodNames() = %v, want %v", names, want)
+	}
+
+	baselineNames := make(map[string]bool)
+	for _, m := range Baselines() {
+		baselineNames[m.Name()] = true
+	}
+
+	for _, sel := range names {
+		lower, err := MethodByName(sel)
+		if err != nil {
+			t.Fatalf("MethodByName(%q): %v", sel, err)
+		}
+		for _, variant := range []string{strings.ToUpper(sel), strings.ToUpper(sel[:1]) + sel[1:]} {
+			m, err := MethodByName(variant)
+			if err != nil {
+				t.Fatalf("MethodByName(%q): %v", variant, err)
+			}
+			if m.Name() != lower.Name() {
+				t.Fatalf("MethodByName(%q) = %q, want %q", variant, m.Name(), lower.Name())
+			}
+		}
+		// The shorthand selectors that defer to the baseline suite must
+		// resolve to members of it.
+		switch sel {
+		case "prior", "sim", "cuc", "kul-ci":
+			if !baselineNames[lower.Name()] {
+				t.Fatalf("selector %q resolves to %q, which Baselines() does not contain", sel, lower.Name())
+			}
+		}
+	}
+
+	def, err := MethodByName("")
+	if err != nil {
+		t.Fatalf("MethodByName(\"\"): %v", err)
+	}
+	aidaM, _ := MethodByName("aida")
+	if def.Name() != aidaM.Name() {
+		t.Fatalf("empty selector = %q, want the aida default %q", def.Name(), aidaM.Name())
+	}
+
+	if _, err := MethodByName("no-such-method"); err == nil {
+		t.Fatal("unknown selector must error, never fall back")
+	}
+}

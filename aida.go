@@ -22,6 +22,14 @@ type (
 	// KB is the knowledge base: entity repository, name dictionary, link
 	// graph and keyphrase features.
 	KB = kb.KB
+	// Store is the read interface every knowledge-base implementation
+	// satisfies: the single-process *KB and the sharded router. Systems
+	// are built over a Store, so the whole pipeline runs unchanged — and
+	// byte-identically — against either.
+	Store = kb.Store
+	// ShardedKB is a knowledge base split into N shards behind a
+	// deterministic routing layer; build one with ShardKB.
+	ShardedKB = kb.ShardedKB
 	// KBBuilder assembles a KB.
 	KBBuilder = kb.Builder
 	// EntityID identifies a KB entity; NoEntity marks out-of-KB.
@@ -81,7 +89,7 @@ type (
 
 // TrainTypeClassifier builds a TypeClassifier from the KB's type-keyword
 // statistics.
-func TrainTypeClassifier(k *KB) *TypeClassifier { return nec.Train(k) }
+func TrainTypeClassifier(k Store) *TypeClassifier { return nec.Train(k) }
 
 // NoEntity marks a mention whose entity is not in the knowledge base.
 const NoEntity = kb.NoEntity
@@ -108,6 +116,12 @@ func NewKBBuilder() *KBBuilder { return kb.NewBuilder() }
 
 // LoadKB reads a KB snapshot written with (*KB).Save.
 func LoadKB(r io.Reader) (*KB, error) { return kb.Load(r) }
+
+// ShardKB splits a built KB into n shards behind a routing layer
+// (entities by id mod n, dictionary rows by normalized-surface hash).
+// Annotation over the returned store is byte-identical to annotation over
+// k at any shard count; n must be ≥ 1.
+func ShardKB(k *KB, n int) *ShardedKB { return kb.Shard(k, n) }
 
 // NewAIDAMethod returns the full AIDA method (robustness tests + MW
 // coherence), the dissertation's best configuration.
@@ -184,9 +198,10 @@ type Annotation struct {
 }
 
 // System bundles the full pipeline: recognition, candidate generation and
-// disambiguation against one knowledge base.
+// disambiguation against one knowledge base store (a single KB or a
+// sharded router — the annotations are byte-identical either way).
 type System struct {
-	KB     *KB
+	KB     Store
 	Method Method
 	// MaxCandidates caps candidates per mention (0 = no cap).
 	MaxCandidates int
@@ -211,8 +226,8 @@ func WithMaxCandidates(n int) Option { return func(s *System) { s.MaxCandidates 
 // document containing them ("Carter" → "Rubin Carter").
 func WithSurfaceExpansion() Option { return func(s *System) { s.ExpandSurfaces = true } }
 
-// New creates a System over the knowledge base.
-func New(k *KB, opts ...Option) *System {
+// New creates a System over the knowledge base store.
+func New(k Store, opts ...Option) *System {
 	s := &System{KB: k, Method: disambig.NewAIDA(), engine: relatedness.NewScorer(k)}
 	s.recognizer.Lexicon = k
 	for _, o := range opts {

@@ -46,10 +46,15 @@ func main() {
 		batch    = flag.Bool("batch", false, "treat input as blank-line-separated documents")
 		inPath   = flag.String("in", "", "read input from this file instead of args/stdin")
 		workers  = flag.Int("j", 0, "annotation parallelism for -batch (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 1, "split the KB into this many shards behind a router (output is byte-identical at any count)")
 	)
 	flag.Parse()
 
 	k, err := loadKB(*kbPath, *gen, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := shardStore(k, *shards)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +70,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	sys := aida.New(k, aida.WithMethod(m), aida.WithMaxCandidates(20))
+	sys := aida.New(store, aida.WithMethod(m), aida.WithMaxCandidates(20))
 	if *batch {
 		if *mentions != "" {
 			log.Fatal("-batch recognizes mentions automatically; drop -mentions")
@@ -118,6 +123,18 @@ func loadKB(path string, gen int, seed int64) (*aida.KB, error) {
 		return wiki.Generate(wiki.Config{Seed: seed, Entities: gen}).KB, nil
 	default:
 		return nil, fmt.Errorf("provide -kb <file> or -gen <entities>")
+	}
+}
+
+// shardStore wraps the KB in an n-shard router when -shards asks for one.
+func shardStore(k *aida.KB, n int) (aida.Store, error) {
+	switch {
+	case n < 1:
+		return nil, fmt.Errorf("-shards must be ≥ 1 (got %d)", n)
+	case n == 1:
+		return k, nil
+	default:
+		return aida.ShardKB(k, n), nil
 	}
 }
 

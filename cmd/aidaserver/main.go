@@ -54,6 +54,7 @@ func main() {
 		gen      = flag.Int("gen", 0, "generate a synthetic KB with this many entities")
 		seed     = flag.Int64("seed", 42, "seed for -gen")
 		method   = flag.String("method", "aida", "method: aida, prior, sim, cuc, kul-ci, tagme, iw")
+		shards   = flag.Int("shards", 1, "split the KB into this many shards behind a router (responses are byte-identical at any count)")
 		maxCand  = flag.Int("max-candidates", 20, "candidates per mention (0 = no cap)")
 		defPar   = flag.Int("j", 0, "default per-request parallelism (0 = GOMAXPROCS)")
 		maxPar   = flag.Int("jmax", 0, "per-request parallelism cap (0 = GOMAXPROCS)")
@@ -80,7 +81,15 @@ func main() {
 		logger.Error("select method", "err", err)
 		os.Exit(1)
 	}
-	sys := aida.New(k, aida.WithMethod(m), aida.WithMaxCandidates(*maxCand))
+	var store aida.Store = k
+	switch {
+	case *shards < 1:
+		logger.Error("invalid -shards", "shards", *shards)
+		os.Exit(1)
+	case *shards > 1:
+		store = aida.ShardKB(k, *shards)
+	}
+	sys := aida.New(store, aida.WithMethod(m), aida.WithMaxCandidates(*maxCand))
 	srv := server.New(sys, server.Config{
 		MaxBodyBytes:       *maxBody,
 		MaxBatchDocs:       *maxBatch,
@@ -94,7 +103,7 @@ func main() {
 		logger.Error("listen", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
-	logger.Info("serving", "addr", l.Addr().String(), "entities", k.NumEntities(), "method", *method)
+	logger.Info("serving", "addr", l.Addr().String(), "entities", k.NumEntities(), "shards", store.NumShards(), "method", *method)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

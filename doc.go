@@ -70,6 +70,16 @@
 // snapshot with per-measure-kind cache hit/miss counters and the interned
 // profiles' approximate memory footprint.
 //
+// # Sharded knowledge bases
+//
+// Systems are built over a Store, the read interface both knowledge-base
+// implementations satisfy: the single in-memory KB and the ShardedKB
+// router returned by ShardKB(k, n), which splits entities by id and
+// dictionary rows by surface hash across n shards. Annotation output is
+// byte-identical at any shard count — candidate priors included — a
+// contract pinned by a golden-corpus conformance suite, so sharded
+// deployments can be rolled out without output drift.
+//
 // # The annotation service
 //
 // Command aidaserver (cmd/aidaserver) runs the pipeline as a long-running

@@ -15,7 +15,7 @@ import (
 // person names.
 //
 // The input order is preserved; the returned slice has the same length.
-func ExpandSurfaces(k *kb.KB, surfaces []string) []string {
+func ExpandSurfaces(k kb.Store, surfaces []string) []string {
 	out := make([]string, len(surfaces))
 	copy(out, surfaces)
 	// Collect multi-word surfaces as expansion targets.

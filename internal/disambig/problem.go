@@ -113,12 +113,14 @@ func (p *Problem) wordIDF(w string) float64 {
 // NewProblem builds a Problem from raw text and pre-recognized mention
 // surfaces, materializing up to maxCandidates candidates per mention from
 // the KB dictionary (sorted by prior). maxCandidates ≤ 0 means no limit.
-func NewProblem(k *kb.KB, text string, surfaces []string, maxCandidates int) *Problem {
+// The store may be a single KB or a sharded router; candidate lists are
+// byte-identical either way.
+func NewProblem(k kb.Store, text string, surfaces []string, maxCandidates int) *Problem {
 	return NewProblemFromWords(k, tokenizer.ContentWords(text), surfaces, maxCandidates)
 }
 
 // NewProblemFromWords is NewProblem on pre-tokenized context words.
-func NewProblemFromWords(k *kb.KB, contextWords, surfaces []string, maxCandidates int) *Problem {
+func NewProblemFromWords(k kb.Store, contextWords, surfaces []string, maxCandidates int) *Problem {
 	p := &Problem{
 		ContextWords:  contextWords,
 		Mentions:      make([]Mention, 0, len(surfaces)),
@@ -135,8 +137,9 @@ func NewProblemFromWords(k *kb.KB, contextWords, surfaces []string, maxCandidate
 }
 
 // MaterializeCandidates looks up a surface form in the KB dictionary and
-// returns candidate structs with all features attached.
-func MaterializeCandidates(k *kb.KB, surface string, maxCandidates int) []Candidate {
+// returns candidate structs with all features attached. Entity features
+// are fetched from the shard owning each candidate when k is sharded.
+func MaterializeCandidates(k kb.Store, surface string, maxCandidates int) []Candidate {
 	cands := k.Candidates(surface)
 	if maxCandidates > 0 && len(cands) > maxCandidates {
 		cands = cands[:maxCandidates]

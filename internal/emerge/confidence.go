@@ -125,17 +125,23 @@ func EntityPerturbation(m disambig.Method, p *disambig.Problem, base *disambig.O
 	kept := make([]int, n)
 	stable := make([]int, n)
 	for it := 0; it < cfg.Iterations; it++ {
-		forced := map[int]bool{}
+		forced := make([]bool, n)
+		var forcedIdx []int
 		for i := 0; i < n; i++ {
 			if len(p.Mentions[i].Candidates) > 1 && rng.Float64() < cfg.ForceFrac {
 				forced[i] = true
+				forcedIdx = append(forcedIdx, i)
 			}
 		}
-		if len(forced) == n {
+		if len(forcedIdx) == n {
 			continue
 		}
 		sub := p.Clone()
-		for i := range forced {
+		// Force-map in ascending mention order: sampleAlternate consumes
+		// rng draws, so the iteration order is part of the deterministic
+		// seeded behavior (a map walk here would randomize CONF between
+		// runs — caught by the golden-corpus conformance suite).
+		for _, i := range forcedIdx {
 			// Force-map to an alternate candidate drawn in proportion to
 			// the method's scores (uniform when scores are unavailable).
 			alt := sampleAlternate(rng, base.Results[i], len(p.Mentions[i].Candidates))

@@ -103,29 +103,18 @@ func (k *KB) HasName(normalized string) bool {
 // descending prior (ties broken by id for determinism). A nil slice means
 // the dictionary has no entry and the mention trivially refers to an OOE.
 func (k *KB) Candidates(surface string) []Candidate {
-	entries := k.dict[NormalizeName(surface)]
-	if len(entries) == 0 {
-		return nil
-	}
-	total := 0
-	for _, e := range entries {
-		total += e.Count
-	}
-	out := make([]Candidate, len(entries))
-	for i, e := range entries {
-		prior := 0.0
-		if total > 0 {
-			prior = float64(e.Count) / float64(total)
-		}
-		out[i] = Candidate{Entity: e.Entity, Prior: prior, Count: e.Count}
-	}
+	return candidatesFrom(k.dict[NormalizeName(surface)])
+}
+
+// sortCandidates orders candidates by descending prior, ties by ascending
+// id — the canonical candidate order of every Store implementation.
+func sortCandidates(out []Candidate) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Prior != out[j].Prior {
 			return out[i].Prior > out[j].Prior
 		}
 		return out[i].Entity < out[j].Entity
 	})
-	return out
 }
 
 // Prior returns P(entity|surface) from the anchor dictionary, or 0 when the
@@ -150,14 +139,20 @@ func (k *KB) Names() []string {
 }
 
 // PhraseIDF returns the global IDF of a keyphrase (Eq. 3.5).
-func (k *KB) PhraseIDF(phrase string) float64 { return k.phraseIDF[strings.ToLower(phrase)] }
+func (k *KB) PhraseIDF(phrase string) float64 { return lowerIDF(k.phraseIDF, phrase) }
 
 // WordIDF returns the global IDF of a keyword.
-func (k *KB) WordIDF(word string) float64 { return k.wordIDF[strings.ToLower(word)] }
+func (k *KB) WordIDF(word string) float64 { return lowerIDF(k.wordIDF, word) }
 
-// KeywordWeight returns the NPMI weight of word for entity e, falling back
-// to the global IDF when the entity has no specific weight (Sec. 3.3.4
-// allows either weighting).
+// lowerIDF is the shared lower-cased IDF table lookup of every Store
+// implementation.
+func lowerIDF(table map[string]float64, key string) float64 {
+	return table[strings.ToLower(key)]
+}
+
+// KeywordWeight returns the NPMI weight of word for entity e, or 0 when
+// the entity has no specific weight (callers that want the Sec. 3.3.4
+// global-IDF weighting use WordIDF as the fallback themselves).
 func (k *KB) KeywordWeight(e EntityID, word string) float64 {
 	ent := &k.entities[e]
 	if w, ok := ent.KeywordNPMI[word]; ok {

@@ -1,0 +1,76 @@
+package kb
+
+// Store is the read interface of the knowledge base: everything the
+// annotation pipeline (recognition, candidate materialization, scoring,
+// harvesting, serving) needs from the KB substrate. Both the single-process
+// *KB and the ShardedKB router satisfy it, and every implementation must
+// return byte-identical results for the same underlying repository — the
+// golden-corpus conformance suite in internal/kbtest pins this.
+//
+// All methods must be safe for concurrent use (implementations are
+// immutable after construction).
+type Store interface {
+	// NumEntities returns |E|. Entity ids are dense in [0, NumEntities()),
+	// so iterating ids covers the whole repository on any implementation.
+	NumEntities() int
+	// Entity returns the entity with the given id. It panics on ids
+	// outside the repository; NoEntity is not a valid argument.
+	Entity(id EntityID) *Entity
+	// EntityByName looks up an entity by its canonical name.
+	EntityByName(name string) (EntityID, bool)
+	// HasName implements ner.Lexicon over the normalized dictionary keys.
+	HasName(normalized string) bool
+	// Candidates returns the candidate entities for a surface form, sorted
+	// by descending prior (ties broken by ascending id). A nil slice means
+	// the dictionary has no entry.
+	Candidates(surface string) []Candidate
+	// Prior returns P(entity|surface), or 0 when the pair is unknown.
+	Prior(surface string, e EntityID) float64
+	// Names returns all dictionary keys (normalized names), sorted.
+	Names() []string
+	// PhraseIDF returns the global IDF of a keyphrase (Eq. 3.5).
+	PhraseIDF(phrase string) float64
+	// WordIDF returns the global IDF of a keyword.
+	WordIDF(word string) float64
+	// KeywordWeight returns the NPMI weight of word for entity e (0 when
+	// the entity has no specific weight).
+	KeywordWeight(e EntityID, word string) float64
+	// NumShards reports how many shards back this store (1 for a plain
+	// *KB). Entity e lives on shard EntityShard(e, NumShards()).
+	NumShards() int
+}
+
+// Compile-time conformance of both implementations.
+var (
+	_ Store = (*KB)(nil)
+	_ Store = (*ShardedKB)(nil)
+)
+
+// NumShards implements Store: a plain KB is one shard.
+func (k *KB) NumShards() int { return 1 }
+
+// candidatesFrom materializes Candidate structs from raw dictionary rows,
+// recomputing priors over the full entry set and sorting by descending
+// prior with ties broken by ascending id. Both the single KB and the
+// sharded router build their results through this one function, which is
+// what makes their outputs byte-identical (same summation order, same
+// float divisions, same comparator).
+func candidatesFrom(entries []nameEntry) []Candidate {
+	if len(entries) == 0 {
+		return nil
+	}
+	total := 0
+	for _, e := range entries {
+		total += e.Count
+	}
+	out := make([]Candidate, len(entries))
+	for i, e := range entries {
+		prior := 0.0
+		if total > 0 {
+			prior = float64(e.Count) / float64(total)
+		}
+		out[i] = Candidate{Entity: e.Entity, Prior: prior, Count: e.Count}
+	}
+	sortCandidates(out)
+	return out
+}

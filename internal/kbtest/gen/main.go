@@ -1,0 +1,53 @@
+// Command gen regenerates the committed golden corpus
+// (internal/kbtest/testdata/golden/docs.json) from the deterministic
+// synthetic world. The corpus mixes CoNLL-geometry news documents with
+// KORE50-style hard documents (very short contexts, maximally ambiguous
+// surfaces) — the documents where sharding bugs would first surface as
+// silently different disambiguations.
+//
+// Run from the repository root:
+//
+//	go run ./internal/kbtest/gen
+//	go test ./internal/kbtest -update
+//
+// and commit both docs.json and the refreshed expected outputs.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"aida/internal/kbtest"
+	"aida/internal/wiki"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kbtest/gen: ")
+	world := wiki.Generate(wiki.Config{Seed: kbtest.Seed, Entities: kbtest.Entities})
+
+	var docs []kbtest.Doc
+	for i, d := range world.GenerateCorpus(wiki.CoNLLSpec(8, kbtest.Seed+1)) {
+		docs = append(docs, kbtest.Doc{Name: fmt.Sprintf("conll-%d", i), Text: d.Text})
+	}
+	for i, d := range world.GenerateCorpus(wiki.HardSpec(4, kbtest.Seed+2)) {
+		docs = append(docs, kbtest.Doc{Name: fmt.Sprintf("hard-%d", i), Text: d.Text})
+	}
+
+	data, err := json.MarshalIndent(docs, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join("internal", "kbtest", kbtest.DocsPath)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d documents)", path, len(docs))
+}

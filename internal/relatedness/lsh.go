@@ -34,7 +34,7 @@ const (
 // scheme: stage-one phrase bucketing plus stage-two entity sketching, with
 // process-wide sketch memoization.
 type LSHFilter struct {
-	kb      *kb.KB
+	kb      kb.Store
 	stage1  *minhash.Sketcher
 	stage1l minhash.LSH
 	stage2  *minhash.Sketcher
@@ -44,7 +44,7 @@ type LSHFilter struct {
 // NewLSHFilter creates a filter for the given KORE LSH variant
 // (KindKORELSHG or KindKORELSHF). The kb may be nil when only PairsOfSets
 // is used.
-func NewLSHFilter(k *kb.KB, kind Kind) *LSHFilter {
+func NewLSHFilter(k kb.Store, kind Kind) *LSHFilter {
 	bands, rows := lshGBands, lshGRows
 	if kind == KindKORELSHF {
 		bands, rows = lshFBands, lshFRows

@@ -65,7 +65,7 @@ func ParseKind(name string) (Kind, error) {
 // values and LSH filters. It is safe for concurrent use.
 type Measure struct {
 	Kind Kind
-	KB   *kb.KB
+	KB   kb.Store
 
 	scorer *Scorer
 }
@@ -73,7 +73,7 @@ type Measure struct {
 // NewMeasure binds a measure kind to a knowledge base over a fresh engine.
 // Callers that evaluate several kinds (or many documents) should share one
 // Scorer and derive views with (*Scorer).Measure instead.
-func NewMeasure(kind Kind, k *kb.KB) *Measure {
+func NewMeasure(kind Kind, k kb.Store) *Measure {
 	return NewScorer(k).Measure(kind)
 }
 

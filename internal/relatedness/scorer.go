@@ -7,10 +7,10 @@ import (
 	"aida/internal/kb"
 )
 
-// scorerShards is the shard count of the Scorer's profile and pair caches.
-// Sharding keeps lock contention negligible when many documents are scored
-// concurrently; 64 shards comfortably cover the worker counts of commodity
-// machines.
+// scorerShards is the shard count of the Scorer's pair cache, and the
+// total lock-stripe budget of its profile intern tables. Sharding keeps
+// lock contention negligible when many documents are scored concurrently;
+// 64 shards comfortably cover the worker counts of commodity machines.
 const scorerShards = 64
 
 // pairKey identifies one memoized relatedness value: a measure kind and an
@@ -53,12 +53,24 @@ type pairShard struct {
 // A Scorer is the cross-request state that one-shot Measure construction
 // used to rebuild per call: share a single Scorer per KB process-wide and
 // derive per-kind views with Measure.
+//
+// The profile intern tables are aligned with the store's KB shards: one
+// group of lock-striped tables per KB shard, so a process hosting only hot
+// shards interns (and accounts) profiles per shard, and dropping a shard's
+// profiles is a contiguous operation. For an unsharded KB this degenerates
+// to the flat 64-stripe layout.
 type Scorer struct {
-	kb     *kb.KB
+	kb     kb.Store
 	weight Weighter
 
-	profiles [scorerShards]profileShard
-	pairs    [scorerShards]pairShard
+	// kbShards and stripes shape the profile tables: profiles holds
+	// kbShards × stripes entries, entity e living in group
+	// kb.EntityShard(e, kbShards) at stripe (e / kbShards) % stripes.
+	kbShards int
+	stripes  int
+	profiles []profileShard
+
+	pairs [scorerShards]pairShard
 
 	// filters holds the lazily built LSH filters, indexed by lshIndex.
 	filters [2]struct {
@@ -67,9 +79,19 @@ type Scorer struct {
 	}
 }
 
-// NewScorer creates a scoring engine over the knowledge base.
-func NewScorer(k *kb.KB) *Scorer {
-	s := &Scorer{kb: k}
+// NewScorer creates a scoring engine over the knowledge base (a single KB
+// or a sharded router; every value it computes is identical either way).
+func NewScorer(k kb.Store) *Scorer {
+	s := &Scorer{kb: k, kbShards: 1}
+	if k != nil {
+		if n := k.NumShards(); n > 1 {
+			s.kbShards = n
+		}
+	}
+	s.stripes = scorerShards / s.kbShards
+	if s.stripes < 1 {
+		s.stripes = 1
+	}
 	s.weight = func(w string) float64 {
 		v := k.WordIDF(w)
 		if v <= 0 {
@@ -77,6 +99,7 @@ func NewScorer(k *kb.KB) *Scorer {
 		}
 		return v
 	}
+	s.profiles = make([]profileShard, s.kbShards*s.stripes)
 	for i := range s.profiles {
 		s.profiles[i].m = make(map[kb.EntityID]*Profile)
 	}
@@ -86,17 +109,26 @@ func NewScorer(k *kb.KB) *Scorer {
 	return s
 }
 
-// KB returns the bound knowledge base.
-func (s *Scorer) KB() *kb.KB { return s.kb }
+// KB returns the bound knowledge base store.
+func (s *Scorer) KB() kb.Store { return s.kb }
 
 // Weighter returns the engine's global keyword-IDF weighter.
 func (s *Scorer) Weighter() Weighter { return s.weight }
+
+// profileTable returns the intern table stripe owning entity e: the
+// stripe group of e's KB shard, striped within the group by the entity's
+// rank on that shard.
+func (s *Scorer) profileTable(e kb.EntityID) *profileShard {
+	group := kb.EntityShard(e, s.kbShards)
+	stripe := (uint64(e) / uint64(s.kbShards)) % uint64(s.stripes)
+	return &s.profiles[group*s.stripes+int(stripe)]
+}
 
 // Profile returns the interned keyphrase profile of a KB entity, building
 // it on first use. Duplicate builds under concurrency are possible but
 // harmless (profiles are immutable); exactly one copy is retained.
 func (s *Scorer) Profile(e kb.EntityID) *Profile {
-	sh := &s.profiles[uint64(e)%scorerShards]
+	sh := s.profileTable(e)
 	sh.mu.RLock()
 	p, ok := sh.m[e]
 	sh.mu.RUnlock()

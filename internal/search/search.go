@@ -37,7 +37,7 @@ type Query struct {
 // Index is the strings+things+cats inverted index. Create with NewIndex,
 // then AddDocument; queries are safe once indexing is done.
 type Index struct {
-	kb       *kb.KB
+	kb       kb.Store
 	wordDocs map[string]map[string]int      // word → doc → tf
 	entDocs  map[kb.EntityID]map[string]int // entity → doc → tf
 	docLen   map[string]int
@@ -46,8 +46,8 @@ type Index struct {
 	numDocs      int
 }
 
-// NewIndex creates an empty index over the given KB.
-func NewIndex(k *kb.KB) *Index {
+// NewIndex creates an empty index over the given KB (single or sharded).
+func NewIndex(k kb.Store) *Index {
 	ix := &Index{
 		kb:           k,
 		wordDocs:     make(map[string]map[string]int),
@@ -55,7 +55,8 @@ func NewIndex(k *kb.KB) *Index {
 		docLen:       make(map[string]int),
 		typeEntities: make(map[string][]kb.EntityID),
 	}
-	for _, e := range k.Entities() {
+	for id := 0; id < k.NumEntities(); id++ {
+		e := k.Entity(kb.EntityID(id))
 		for _, t := range e.Types {
 			ix.typeEntities[t] = append(ix.typeEntities[t], e.ID)
 		}
@@ -164,7 +165,8 @@ func (ix *Index) Complete(prefix string, limit int) []kb.EntityID {
 		freq int
 	}
 	var cands []cand
-	for _, e := range ix.kb.Entities() {
+	for id := 0; id < ix.kb.NumEntities(); id++ {
+		e := ix.kb.Entity(kb.EntityID(id))
 		if strings.HasPrefix(strings.ToLower(e.Name), p) {
 			freq := 0
 			for _, tf := range ix.entDocs[e.ID] {

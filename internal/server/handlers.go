@@ -281,6 +281,9 @@ type serverStats struct {
 
 type kbStats struct {
 	Entities int `json:"entities"`
+	// Shards is the knowledge base's shard count: 1 for a single KB,
+	// N for a ShardedKB router (the -shards flag of cmd/aidaserver).
+	Shards int `json:"shards"`
 }
 
 func (s *Server) statsSnapshot() statsResponse {
@@ -297,7 +300,7 @@ func (s *Server) statsSnapshot() statsResponse {
 			RequestsByEndpoint: byEndpoint,
 		},
 		Engine: s.sys.Scorer().Stats(),
-		KB:     kbStats{Entities: s.sys.KB.NumEntities()},
+		KB:     kbStats{Entities: s.sys.KB.NumEntities(), Shards: s.sys.KB.NumShards()},
 	}
 }
 

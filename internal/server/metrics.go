@@ -28,6 +28,8 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 	}
 	writeMetric(w, "aida_kb_entities", "gauge",
 		"Entities in the loaded knowledge base.", float64(st.KB.Entities))
+	writeMetric(w, "aida_kb_shards", "gauge",
+		"Shards backing the knowledge base (1 = unsharded).", float64(st.KB.Shards))
 	writeMetric(w, "aida_engine_profiles", "gauge",
 		"Entity keyphrase profiles interned by the scoring engine.", float64(st.Engine.Profiles))
 	writeMetric(w, "aida_engine_profile_bytes", "gauge",

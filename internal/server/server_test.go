@@ -37,8 +37,8 @@ func quietLogger() *slog.Logger {
 }
 
 // newTestServer builds a Server plus httptest front-end over a fresh
-// System for the given KB.
-func newTestServer(t testing.TB, k *aida.KB, cfg Config) (*aida.System, *httptest.Server) {
+// System for the given KB store (a plain KB or a sharded router).
+func newTestServer(t testing.TB, k aida.Store, cfg Config) (*aida.System, *httptest.Server) {
 	t.Helper()
 	if cfg.Logger == nil {
 		cfg.Logger = quietLogger()

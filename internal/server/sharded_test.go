@@ -1,0 +1,92 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aida"
+)
+
+// TestShardedServerByteIdentical pins the HTTP contract across the KB
+// back-ends: a server over a 4-shard router must answer the annotate and
+// batch endpoints with the exact bytes of a server over the unsharded KB.
+// This is the stable surface that lets a fleet swap in sharded processes
+// behind a load balancer without clients noticing.
+func TestShardedServerByteIdentical(t *testing.T) {
+	k, docs := testWorld(t, 6)
+	_, plain := newTestServer(t, k, Config{})
+	_, sharded := newTestServer(t, aida.ShardKB(k, 4), Config{})
+
+	readBody := func(url string, body any) string {
+		resp := postJSON(t, url, body)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d from %s", resp.StatusCode, url)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+
+	single := annotateRequest{Text: docs[0]}
+	if got, want := readBody(sharded.URL+"/v1/annotate", single), readBody(plain.URL+"/v1/annotate", single); got != want {
+		t.Errorf("sharded /v1/annotate diverges:\n got %s\nwant %s", got, want)
+	}
+	batch := batchRequest{Docs: docs, Parallelism: 4}
+	if got, want := readBody(sharded.URL+"/v1/annotate/batch", batch), readBody(plain.URL+"/v1/annotate/batch", batch); got != want {
+		t.Errorf("sharded /v1/annotate/batch diverges:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestStatsReportShards pins the /v1/stats shards field on both back-ends
+// and its Prometheus exposition.
+func TestStatsReportShards(t *testing.T) {
+	k, _ := testWorld(t, 1)
+	cases := []struct {
+		name  string
+		store aida.Store
+		want  int
+	}{
+		{"unsharded", k, 1},
+		{"sharded-4", aida.ShardKB(k, 4), 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := newTestServer(t, tc.store, Config{})
+			resp0, err := http.Get(ts.URL + "/v1/stats")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp0.Body.Close()
+			var st statsResponse
+			if err := json.NewDecoder(resp0.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			if st.KB.Shards != tc.want {
+				t.Errorf("stats kb.shards = %d, want %d", st.KB.Shards, tc.want)
+			}
+			if st.KB.Entities != tc.store.NumEntities() {
+				t.Errorf("stats kb.entities = %d, want %d", st.KB.Entities, tc.store.NumEntities())
+			}
+			resp, err := http.Get(ts.URL + "/v1/stats?format=prometheus")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			text, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantLine := "aida_kb_shards " + strconv.Itoa(tc.want)
+			if !strings.Contains(string(text), wantLine) {
+				t.Errorf("Prometheus exposition missing %q", wantLine)
+			}
+		})
+	}
+}

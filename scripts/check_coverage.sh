@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Coverage gate for the KB substrate and the disambiguation core: the
+# packages the sharding router and the scoring layers live in must stay
+# above the checked-in threshold. Run from the repository root:
+#
+#   ./scripts/check_coverage.sh
+#
+# The threshold is deliberately part of the repository, not the CI config,
+# so lowering it shows up in review.
+set -eu
+
+THRESHOLD=70
+PACKAGES="./internal/kb ./internal/disambig"
+
+status=0
+for pkg in $PACKAGES; do
+    profile=$(mktemp)
+    go test -coverprofile="$profile" "$pkg" >/dev/null
+    pct=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+    rm -f "$profile"
+    echo "coverage $pkg: $pct% (threshold ${THRESHOLD}%)"
+    if awk -v p="$pct" -v t="$THRESHOLD" 'BEGIN { exit (p+0 >= t) ? 0 : 1 }'; then
+        :
+    else
+        echo "FAIL: $pkg coverage $pct% is below ${THRESHOLD}%" >&2
+        status=1
+    fi
+done
+exit $status

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"maps"
+	"os"
+	"path/filepath"
 	"runtime"
 	"slices"
 	"strings"
@@ -226,6 +228,16 @@ func WithMaxCandidates(n int) Option { return func(s *System) { s.MaxCandidates 
 // document containing them ("Carter" → "Rubin Carter").
 func WithSurfaceExpansion() Option { return func(s *System) { s.ExpandSurfaces = true } }
 
+// WithMaxProfileBytes bounds the approximate heap footprint of the scoring
+// engine's interned entity profiles (0, the default, is unbounded). Over
+// budget, cold profiles are evicted CLOCK-wise together with their
+// dependent memoized pair values; annotation output never changes — evicted
+// state is recomputed on demand — only the engine's work counters do. See
+// ScorerStats.Evictions.
+func WithMaxProfileBytes(n int64) Option {
+	return func(s *System) { s.engine.SetMaxProfileBytes(n) }
+}
+
 // New creates a System over the knowledge base store.
 func New(k Store, opts ...Option) *System {
 	s := &System{KB: k, Method: disambig.NewAIDA(), engine: relatedness.NewScorer(k)}
@@ -240,6 +252,55 @@ func New(k Store, opts ...Option) *System {
 // interned profiles and memoized pair scores across every document the
 // system annotates; all its methods are safe for concurrent use.
 func (s *System) Scorer() *Scorer { return s.engine }
+
+// SaveEngine writes the scoring engine's accumulated state — interned
+// profiles and memoized pair values — as a versioned snapshot bound to the
+// KB's content fingerprint. A fresh process over the same KB can LoadEngine
+// it and serve its first request with a warm engine. Safe to call
+// concurrently with annotation traffic.
+func (s *System) SaveEngine(w io.Writer) error { return s.engine.Save(w) }
+
+// SaveEngineFile writes the engine snapshot to path atomically: a temp
+// file in the target's directory is written first and renamed over it, so
+// a crash mid-write can never leave a truncated snapshot where the next
+// boot would read it. It returns the snapshot size in bytes. Both binaries
+// and the server's admin endpoint persist through this one function.
+func (s *System) SaveEngineFile(path string) (int64, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "." // keep temp and target on one filesystem (rename must not cross devices)
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := s.SaveEngine(tmp); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	n, err := tmp.Seek(0, io.SeekCurrent)
+	if err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// LoadEngine warm-starts the scoring engine from a snapshot written by
+// SaveEngine. The snapshot must come from the same KB content (its
+// fingerprint is checked; the shard count may differ). Errors — truncated
+// or corrupt streams, unsupported versions, stale snapshots for a different
+// KB — leave the engine untouched and usable cold. Annotations after a
+// warm start are byte-identical to a cold engine's (the golden-corpus
+// suite pins this); only the cache hit/miss counters differ.
+func (s *System) LoadEngine(r io.Reader) error { return s.engine.Restore(r) }
 
 // Recognize runs named entity recognition only.
 func (s *System) Recognize(text string) []MentionSpan {

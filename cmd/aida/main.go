@@ -17,6 +17,12 @@
 // concurrently by -j workers over the system's shared scoring engine and
 // printed in input order. Annotation runs under a signal-aware context:
 // Ctrl-C cancels in-flight scoring instead of waiting for the corpus.
+//
+// With -engine-snapshot the scoring engine is durable across invocations:
+// an existing snapshot for the same KB content is loaded before annotating
+// (warm start) and rewritten after a successful run. -engine-max-bytes
+// bounds the engine's interned-profile memory via CLOCK eviction; output is
+// byte-identical with or without either flag.
 package main
 
 import (
@@ -47,6 +53,8 @@ func main() {
 		inPath   = flag.String("in", "", "read input from this file instead of args/stdin")
 		workers  = flag.Int("j", 0, "annotation parallelism for -batch (0 = GOMAXPROCS)")
 		shards   = flag.Int("shards", 1, "split the KB into this many shards behind a router (output is byte-identical at any count)")
+		snapshot = flag.String("engine-snapshot", "", "engine snapshot path: loaded before annotating if present (warm start), rewritten after a successful run")
+		maxProf  = flag.Int64("engine-max-bytes", 0, "approximate interned-profile memory budget in bytes (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -70,7 +78,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	sys := aida.New(store, aida.WithMethod(m), aida.WithMaxCandidates(20))
+	sys := aida.New(store, aida.WithMethod(m), aida.WithMaxCandidates(20),
+		aida.WithMaxProfileBytes(*maxProf))
+	loadEngineSnapshot(sys, *snapshot)
 	if *batch {
 		if *mentions != "" {
 			log.Fatal("-batch recognizes mentions automatically; drop -mentions")
@@ -88,6 +98,7 @@ func main() {
 				printResult(a.Mention.Text, a.Label, a.Entity, a.Score)
 			}
 		}
+		saveEngineSnapshot(sys, *snapshot)
 		return
 	}
 	if *mentions != "" {
@@ -99,6 +110,7 @@ func main() {
 		for _, r := range out.Results {
 			printResult(r.Surface, r.Label, r.Entity, r.Score)
 		}
+		saveEngineSnapshot(sys, *snapshot)
 		return
 	}
 	doc, err := sys.AnnotateDoc(ctx, text)
@@ -107,6 +119,40 @@ func main() {
 	}
 	for _, a := range doc.Annotations {
 		printResult(a.Mention.Text, a.Label, a.Entity, a.Score)
+	}
+	saveEngineSnapshot(sys, *snapshot)
+}
+
+// loadEngineSnapshot warm-starts the system's scoring engine from path. A
+// missing file is a normal cold start; a stale or corrupt snapshot is
+// reported and skipped — it must never block annotation.
+func loadEngineSnapshot(sys *aida.System, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return
+	}
+	if err != nil {
+		log.Printf("engine snapshot unreadable, starting cold: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := sys.LoadEngine(f); err != nil {
+		log.Printf("engine snapshot rejected, starting cold: %v", err)
+	}
+}
+
+// saveEngineSnapshot persists the warm engine to path (atomic temp file +
+// rename via SaveEngineFile) after a successful run, so the next
+// invocation over the same KB starts hot.
+func saveEngineSnapshot(sys *aida.System, path string) {
+	if path == "" {
+		return
+	}
+	if _, err := sys.SaveEngineFile(path); err != nil {
+		log.Printf("write engine snapshot: %v", err)
 	}
 }
 

@@ -19,7 +19,17 @@
 //	GET  /v1/stats           engine+server counters (incl. per-endpoint and
 //	                         canceled-request totals); ?format=prometheus
 //	                         for the Prometheus text exposition
+//	POST /v1/admin/snapshot  persist the warm scoring engine to the
+//	                         -engine-snapshot path (atomic write)
 //	GET  /healthz            liveness
+//
+// With -engine-snapshot the scoring engine is made durable: an existing
+// snapshot is loaded at boot (a warm start — the first request hits hot
+// caches; a stale or corrupt snapshot is rejected with a log line and the
+// process starts cold), and the warm engine is written back after a
+// graceful drain. -engine-max-bytes bounds the engine's interned-profile
+// memory; over budget, cold profiles are evicted together with their
+// memoized pair values, without ever changing annotation output.
 //
 // Every endpoint honors request-context cancellation: when a client
 // disconnects, in-flight scoring is aborted, the request is logged with
@@ -62,6 +72,8 @@ func main() {
 		maxBatch = flag.Int("max-batch", 1024, "max documents per batch request")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		jsonLog  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		snapshot = flag.String("engine-snapshot", "", "engine snapshot path: loaded at boot if present (warm start), written on graceful shutdown and POST /v1/admin/snapshot")
+		maxProf  = flag.Int64("engine-max-bytes", 0, "approximate interned-profile memory budget in bytes (0 = unbounded); over budget, cold profiles and their memoized pairs are evicted")
 	)
 	flag.Parse()
 
@@ -89,13 +101,32 @@ func main() {
 	case *shards > 1:
 		store = aida.ShardKB(k, *shards)
 	}
-	sys := aida.New(store, aida.WithMethod(m), aida.WithMaxCandidates(*maxCand))
+	sys := aida.New(store, aida.WithMethod(m), aida.WithMaxCandidates(*maxCand),
+		aida.WithMaxProfileBytes(*maxProf))
+	if *snapshot != "" {
+		// A missing file is a normal cold boot; any other failure (corrupt
+		// stream, stale fingerprint, unsupported version) is logged and the
+		// engine stays usable cold — a bad snapshot must never block boot.
+		if f, err := os.Open(*snapshot); err == nil {
+			loadErr := sys.LoadEngine(f)
+			f.Close()
+			if loadErr != nil {
+				logger.Warn("engine snapshot rejected, starting cold", "path", *snapshot, "err", loadErr)
+			} else {
+				st := sys.Scorer().Stats()
+				logger.Info("engine warm-started", "path", *snapshot, "profiles", st.Profiles, "pairs", st.Pairs)
+			}
+		} else if !os.IsNotExist(err) {
+			logger.Warn("engine snapshot unreadable, starting cold", "path", *snapshot, "err", err)
+		}
+	}
 	srv := server.New(sys, server.Config{
 		MaxBodyBytes:       *maxBody,
 		MaxBatchDocs:       *maxBatch,
 		MaxParallelism:     *maxPar,
 		DefaultParallelism: *defPar,
 		Logger:             logger,
+		EngineSnapshotPath: *snapshot,
 	})
 
 	l, err := net.Listen("tcp", *addr)
@@ -110,6 +141,15 @@ func main() {
 	if err := srv.Serve(ctx, l, *drain); err != nil {
 		logger.Error("serve", "err", err)
 		os.Exit(1)
+	}
+	if *snapshot != "" {
+		// Graceful drain completed: persist the warm engine so the next
+		// boot starts where this process left off.
+		if n, err := sys.SaveEngineFile(*snapshot); err != nil {
+			logger.Error("write engine snapshot", "path", *snapshot, "err", err)
+		} else {
+			logger.Info("engine snapshot written", "path", *snapshot, "bytes", n)
+		}
 	}
 	logger.Info("stopped")
 }

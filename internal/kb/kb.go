@@ -71,6 +71,8 @@ type KB struct {
 	dict      map[string][]nameEntry // normalized surface → entries
 	phraseIDF map[string]float64
 	wordIDF   map[string]float64
+
+	fp fingerprintOnce // lazily computed content hash
 }
 
 // NumEntities returns |E|.

@@ -69,6 +69,8 @@ type ShardedKB struct {
 
 	phraseIDF map[string]float64
 	wordIDF   map[string]float64
+
+	fp fingerprintOnce // lazily computed content hash
 }
 
 // Shard splits a built KB into n shards. n must be ≥ 1; n = 1 yields a

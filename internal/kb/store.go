@@ -38,6 +38,11 @@ type Store interface {
 	// NumShards reports how many shards back this store (1 for a plain
 	// *KB). Entity e lives on shard EntityShard(e, NumShards()).
 	NumShards() int
+	// Fingerprint returns a deterministic hash of the repository content.
+	// It is shard-layout-independent: the unsharded KB and every router
+	// over it return the same value, so state derived from the KB (engine
+	// snapshots) can be validated against any Store serving that content.
+	Fingerprint() uint64
 }
 
 // Compile-time conformance of both implementations.

@@ -1,0 +1,153 @@
+package kbtest
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"aida"
+	"aida/internal/kb"
+)
+
+// evictionBudget is the deliberately tiny MaxProfileBytes the evicting
+// engine mode runs under: far below the working set, so profiles (and
+// their dependent memoized pairs) churn constantly while the pinned output
+// must not move by a byte.
+const evictionBudget = 4096
+
+// engineStores are the Store implementations the engine-mode suite runs:
+// the acceptance matrix is 1 and 4 KB shards.
+func engineStores() []NamedStore {
+	k := GoldenKB()
+	return []NamedStore{
+		{Name: "unsharded", Store: k},
+		{Name: shardName(4), Store: kb.Shard(k, 4)},
+	}
+}
+
+// warmKORE drives KORE relatedness over a deterministic entity sample so
+// the engine interns keyphrase profiles. The golden pipeline's default AIDA
+// method scores coherence with MW (pair cache only), so this is what puts
+// profile state — the part the eviction budget governs — into play without
+// touching annotation output.
+func warmKORE(sys *aida.System, entities int) {
+	n := sys.KB.NumEntities()
+	if entities > n {
+		entities = n
+	}
+	for i := 0; i < entities; i++ {
+		for j := i + 1; j < entities; j++ {
+			sys.Relatedness(aida.KORE, aida.EntityID(i), aida.EntityID(j))
+		}
+	}
+}
+
+// readExpected loads the committed golden bytes for a document.
+func readExpected(t *testing.T, name string) []byte {
+	t.Helper()
+	want, err := os.ReadFile(ExpectedPath(name))
+	if err != nil {
+		t.Fatalf("missing expected output for %s: %v (run with -update)", name, err)
+	}
+	return want
+}
+
+// assertGolden runs the full pipeline over the corpus on sys and compares
+// every document against the committed expectation byte for byte.
+func assertGolden(t *testing.T, sys *aida.System, docs []Doc, mode string) {
+	t.Helper()
+	for _, d := range docs {
+		got := AnnotateJSON(t, sys, d.Text)
+		if !bytes.Equal(got, readExpected(t, d.Name)) {
+			t.Errorf("%s (%s engine): output diverges from golden expectation\n got: %s",
+				d.Name, mode, firstDiff(got, readExpected(t, d.Name)))
+		}
+	}
+}
+
+// TestGoldenCorpusEngineModes is the engine-lifecycle conformance suite:
+// the golden corpus must come out byte-identical in all three engine modes
+// — cold (fresh caches), warm-started from a snapshot written by a donor
+// process, and evicting under a tiny MaxProfileBytes budget — at 1 and 4
+// KB shards. Warm start and eviction change only work counters (hits,
+// misses, evictions), never a single output byte; this is what lets a
+// fleet snapshot/restore engines and cap their memory without any output
+// drift.
+func TestGoldenCorpusEngineModes(t *testing.T) {
+	docs := Docs(t)
+	for _, ns := range engineStores() {
+		t.Run(ns.Name, func(t *testing.T) {
+			t.Run("cold", func(t *testing.T) {
+				assertGolden(t, NewSystem(ns.Store), docs, "cold")
+			})
+
+			t.Run("warm", func(t *testing.T) {
+				// A donor process annotates the corpus (filling the pair
+				// cache) and serves KORE traffic (interning profiles), then
+				// persists its warm engine.
+				donor := NewSystem(ns.Store)
+				for _, d := range docs {
+					AnnotateJSON(t, donor, d.Text)
+				}
+				warmKORE(donor, 40)
+				var snap bytes.Buffer
+				if err := donor.SaveEngine(&snap); err != nil {
+					t.Fatalf("SaveEngine: %v", err)
+				}
+				// A fresh process warm-starts from the snapshot: its engine
+				// is hot before the first request...
+				sys := NewSystem(ns.Store)
+				if err := sys.LoadEngine(bytes.NewReader(snap.Bytes())); err != nil {
+					t.Fatalf("LoadEngine: %v", err)
+				}
+				st := sys.Scorer().Stats()
+				if st.Profiles == 0 || st.Pairs == 0 {
+					t.Fatalf("warm-started engine is cold: %+v", st)
+				}
+				// ...and every output byte matches the cold expectation.
+				assertGolden(t, sys, docs, "warm")
+			})
+
+			t.Run("evicting", func(t *testing.T) {
+				sys := NewSystem(ns.Store)
+				sys.Scorer().SetMaxProfileBytes(evictionBudget)
+				// KORE traffic churns profiles through the tiny budget
+				// while the corpus is annotated; output must not move.
+				warmKORE(sys, 40)
+				assertGolden(t, sys, docs, "evicting")
+				st := sys.Scorer().Stats()
+				if st.Evictions == 0 {
+					t.Errorf("budget of %d bytes triggered no evictions over the corpus: %+v", evictionBudget, st)
+				}
+				if st.ProfileBytes > evictionBudget {
+					t.Errorf("accounted profile bytes %d exceed the %d budget", st.ProfileBytes, evictionBudget)
+				}
+			})
+		})
+	}
+}
+
+// TestGoldenCorpusWarmStartAcrossShardLayouts pins snapshot portability at
+// the system level: a snapshot written over the unsharded KB warm-starts a
+// 4-shard router (the fingerprint covers content, not layout) and still
+// reproduces the golden bytes.
+func TestGoldenCorpusWarmStartAcrossShardLayouts(t *testing.T) {
+	docs := Docs(t)
+	donor := NewSystem(GoldenKB())
+	for _, d := range docs {
+		AnnotateJSON(t, donor, d.Text)
+	}
+	warmKORE(donor, 40)
+	var snap bytes.Buffer
+	if err := donor.SaveEngine(&snap); err != nil {
+		t.Fatalf("SaveEngine: %v", err)
+	}
+	sys := NewSystem(kb.Shard(GoldenKB(), 4))
+	if err := sys.LoadEngine(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatalf("LoadEngine onto 4-shard router: %v", err)
+	}
+	if st := sys.Scorer().Stats(); st.Profiles == 0 {
+		t.Fatalf("cross-layout warm start interned nothing: %+v", st)
+	}
+	assertGolden(t, sys, docs, "warm-cross-shard")
+}

@@ -1,0 +1,161 @@
+package relatedness
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"aida/internal/kb"
+)
+
+// TestEvictionPreservesValuesAndBoundsMemory is the determinism contract
+// of the eviction layer: a budgeted engine returns bit-identical values to
+// an unbounded one (evicted state is recomputed, never approximated), while
+// its accounted profile bytes stay within the budget and the eviction
+// counters move.
+func TestEvictionPreservesValuesAndBoundsMemory(t *testing.T) {
+	k, music, physics := buildClusterKB()
+	ents := append(append([]kb.EntityID{}, music...), physics...)
+	ref := NewScorer(k)
+	warmScorer(ref)
+	budget := ref.Stats().ProfileBytes / 3
+	if budget <= 0 {
+		t.Fatal("reference engine interned no profile bytes")
+	}
+
+	s := NewScorer(k)
+	s.SetMaxProfileBytes(budget)
+	if got := s.MaxProfileBytes(); got != budget {
+		t.Fatalf("MaxProfileBytes = %d, want %d", got, budget)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, kind := range allKinds {
+			for i := range ents {
+				for j := i + 1; j < len(ents); j++ {
+					got := s.Relatedness(kind, ents[i], ents[j])
+					want := ref.Relatedness(kind, ents[i], ents[j])
+					if got != want {
+						t.Fatalf("pass %d: %v(%d,%d) = %v under eviction, want %v", pass, kind, ents[i], ents[j], got, want)
+					}
+				}
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("budget of %d bytes (of %d total) triggered no evictions: %+v", budget, ref.Stats().ProfileBytes, st)
+	}
+	if st.ProfileBytes > budget {
+		t.Fatalf("accounted profile bytes %d exceed budget %d", st.ProfileBytes, budget)
+	}
+	if st.MaxProfileBytes != budget {
+		t.Fatalf("Stats.MaxProfileBytes = %d, want %d", st.MaxProfileBytes, budget)
+	}
+}
+
+// TestEvictionDropsDependentPairs pins that evicting a profile also drops
+// the memoized pairs involving that entity: under an extreme budget every
+// re-intern of an entity sweeps its earlier pair values, and the
+// PairsEvicted counter records it.
+func TestEvictionDropsDependentPairs(t *testing.T) {
+	k, music, physics := buildClusterKB()
+	s := NewScorer(k)
+	s.SetMaxProfileBytes(1)
+	a, b, c := music[0], music[1], physics[0]
+	s.Relatedness(KindKORE, a, b) // caches (a,b); a and b are evicted during compute
+	s.Relatedness(KindKORE, a, c) // re-interning a evicts it again → (a,b) swept
+	st := s.Stats()
+	if st.PairsEvicted == 0 {
+		t.Fatalf("re-eviction dropped no dependent pairs: %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("extreme budget evicted no profiles: %+v", st)
+	}
+	// The values themselves never change.
+	fresh := NewScorer(k)
+	if got, want := s.Relatedness(KindKORE, a, b), fresh.Relatedness(KindKORE, a, b); got != want {
+		t.Fatalf("KORE(%d,%d) = %v after pair eviction, want %v", a, b, got, want)
+	}
+}
+
+// TestSetMaxProfileBytesShrinksImmediately: lowering the budget on a warm
+// engine evicts on the spot, not on the next insert.
+func TestSetMaxProfileBytesShrinksImmediately(t *testing.T) {
+	k, _, _ := buildClusterKB()
+	s := NewScorer(k)
+	warmScorer(s)
+	before := s.Stats()
+	if before.Profiles == 0 || before.ProfileBytes == 0 {
+		t.Fatalf("warm engine has no profiles: %+v", before)
+	}
+	budget := before.ProfileBytes / 4
+	s.SetMaxProfileBytes(budget)
+	after := s.Stats()
+	if after.ProfileBytes > budget {
+		t.Fatalf("shrink left %d accounted bytes over the %d budget", after.ProfileBytes, budget)
+	}
+	if after.Evictions == 0 {
+		t.Fatalf("shrink evicted nothing: %+v", after)
+	}
+	// Back to unbounded: nothing further is evicted.
+	s.SetMaxProfileBytes(0)
+	if got := s.Stats().Evictions; got != after.Evictions {
+		t.Fatalf("clearing the budget evicted more profiles (%d → %d)", after.Evictions, got)
+	}
+}
+
+// TestEvictionConcurrentDeterministic hammers a tightly budgeted engine
+// from many goroutines: every observed value must match the sequential
+// unbounded engine. Under -race this is the eviction layer's concurrency
+// test (CLOCK sweeps racing lookups, pair sweeps racing memoization).
+func TestEvictionConcurrentDeterministic(t *testing.T) {
+	k, music, physics := buildClusterKB()
+	ents := append(append([]kb.EntityID{}, music...), physics...)
+	kinds := []Kind{KindMW, KindKWCS, KindKPCS, KindKORE, KindKORELSHF}
+	want := make(map[pairKey]float64)
+	ref := NewScorer(k)
+	for _, kind := range kinds {
+		for i := range ents {
+			for j := i + 1; j < len(ents); j++ {
+				want[pairKey{pairCacheKind(kind), ents[i], ents[j]}] = ref.Relatedness(kind, ents[i], ents[j])
+			}
+		}
+	}
+
+	s := NewScorer(k)
+	s.SetMaxProfileBytes(ref.Stats().ProfileBytes / 4)
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for it := 0; it < 300; it++ {
+				kind := kinds[rng.Intn(len(kinds))]
+				a, b := ents[rng.Intn(len(ents))], ents[rng.Intn(len(ents))]
+				if a == b {
+					continue
+				}
+				got := s.Relatedness(kind, a, b)
+				x, y := a, b
+				if x > y {
+					x, y = y, x
+				}
+				if got != want[pairKey{pairCacheKind(kind), x, y}] {
+					errs <- "value diverged under concurrent eviction"
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if s.Stats().Evictions == 0 {
+		t.Error("tight budget triggered no evictions under concurrent load")
+	}
+}

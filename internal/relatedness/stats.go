@@ -38,6 +38,15 @@ type Stats struct {
 	// Hits and Misses are pair-cache totals across all kinds.
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
+	// MaxProfileBytes is the configured profile-memory budget (0 =
+	// unbounded; see Scorer.SetMaxProfileBytes).
+	MaxProfileBytes int64 `json:"max_profile_bytes"`
+	// Evictions counts profiles evicted to honor MaxProfileBytes, and
+	// PairsEvicted the memoized pairs dropped because one of their
+	// entities was evicted. Eviction changes only these counters (and
+	// future hit/miss traffic), never a computed value.
+	Evictions    int64 `json:"evictions"`
+	PairsEvicted int64 `json:"pairs_evicted"`
 	// ByKind holds one entry per measure kind, in Kind order.
 	ByKind []KindStats `json:"by_kind"`
 }
@@ -55,11 +64,14 @@ func (s Stats) HitRate() float64 {
 // is proportional to the shard count, not the cache size.
 func (s *Scorer) Stats() Stats {
 	var st Stats
+	st.MaxProfileBytes = s.maxProfileBytes.Load()
+	st.PairsEvicted = s.pairsEvicted.Load()
 	for i := range s.profiles {
 		sh := &s.profiles[i]
 		sh.mu.RLock()
 		st.Profiles += len(sh.m)
 		st.ProfileBytes += sh.bytes
+		st.Evictions += sh.evictions
 		sh.mu.RUnlock()
 	}
 	st.ByKind = make([]KindStats, numKinds)

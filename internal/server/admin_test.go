@@ -1,0 +1,136 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"aida"
+)
+
+// TestAdminSnapshotWritesLoadableEngine drives the full warm-start loop
+// through the HTTP surface: traffic warms the engine, POST
+// /v1/admin/snapshot persists it, and a fresh system that loads the file
+// answers byte-identically to the serving one.
+func TestAdminSnapshotWritesLoadableEngine(t *testing.T) {
+	k, docs := testWorld(t, 6)
+	path := filepath.Join(t.TempDir(), "engine.snap")
+	sys, ts := newTestServer(t, k, Config{EngineSnapshotPath: path})
+
+	// Warm the engine: annotate traffic plus relatedness lookups (the
+	// latter intern KORE profiles).
+	resp := postJSON(t, ts.URL+"/v1/annotate/batch", batchRequest{Docs: docs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	readAll(t, resp)
+	for i := 1; i < 8; i++ {
+		resp, err := http.Get(ts.URL + "/v1/relatedness?kind=KORE&a=0&b=" + itoa(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		readAll(t, resp)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/admin/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	var sr snapshotResponse
+	if err := json.Unmarshal(readAll(t, resp), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Path != path {
+		t.Errorf("snapshot path %q, want %q", sr.Path, path)
+	}
+	if sr.Profiles == 0 || sr.Pairs == 0 || sr.Bytes == 0 {
+		t.Errorf("snapshot response reports empty engine: %+v", sr)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("snapshot file: %v", err)
+	}
+	if fi.Size() != sr.Bytes {
+		t.Errorf("snapshot file is %d bytes, response said %d", fi.Size(), sr.Bytes)
+	}
+
+	// A fresh process loads the file and answers identically.
+	warm := aida.New(k, aida.WithMaxCandidates(10))
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := warm.LoadEngine(f); err != nil {
+		t.Fatalf("LoadEngine from admin snapshot: %v", err)
+	}
+	if st := warm.Scorer().Stats(); st.Profiles == 0 || st.Pairs == 0 {
+		t.Fatalf("loaded engine is cold: %+v", st)
+	}
+	for _, doc := range docs {
+		if got, want := expectedWire(t, warm, doc), expectedWire(t, sys, doc); !bytes.Equal(got, want) {
+			t.Fatalf("warm-started annotations diverge from serving system\n got: %s\nwant: %s", got, want)
+		}
+	}
+
+	// The endpoint is counted like every other routed path.
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(readAll(t, resp), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Server.RequestsByEndpoint["/v1/admin/snapshot"] != 1 {
+		t.Errorf("snapshot endpoint counter: %+v", st.Server.RequestsByEndpoint)
+	}
+}
+
+// TestAdminSnapshotUnconfigured: a server started without a snapshot path
+// answers 409, with no file side effects.
+func TestAdminSnapshotUnconfigured(t *testing.T) {
+	k, _ := testWorld(t, 1)
+	_, ts := newTestServer(t, k, Config{})
+	resp, err := http.Post(ts.URL+"/v1/admin/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status %d, want %d", resp.StatusCode, http.StatusConflict)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(readAll(t, resp), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error == "" {
+		t.Error("409 body carries no error message")
+	}
+}
+
+// TestAdminSnapshotUnwritablePath: a failing write surfaces as a 500 with
+// the error, and no half-written file appears at the target.
+func TestAdminSnapshotUnwritablePath(t *testing.T) {
+	k, _ := testWorld(t, 1)
+	path := filepath.Join(t.TempDir(), "no-such-dir", "engine.snap")
+	_, ts := newTestServer(t, k, Config{EngineSnapshotPath: path})
+	resp, err := http.Post(ts.URL+"/v1/admin/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want %d", resp.StatusCode, http.StatusInternalServerError)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("failed snapshot left a file at %s", path)
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

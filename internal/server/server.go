@@ -11,6 +11,7 @@
 //	POST /v1/annotate/batch  annotate many documents (JSON array or NDJSON stream)
 //	GET  /v1/relatedness     entity-entity relatedness under one measure
 //	GET  /v1/stats           engine + server counters (JSON or Prometheus text)
+//	POST /v1/admin/snapshot  persist the warm scoring engine to disk
 //	GET  /healthz            liveness
 package server
 
@@ -46,6 +47,10 @@ type Config struct {
 	DefaultParallelism int
 	// Logger receives structured request logs (default slog.Default()).
 	Logger *slog.Logger
+	// EngineSnapshotPath is where POST /v1/admin/snapshot persists the
+	// scoring engine (the -engine-snapshot flag of cmd/aidaserver). Empty
+	// disables the endpoint (it answers 409).
+	EngineSnapshotPath string
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +78,7 @@ var endpoints = []string{
 	"/v1/annotate/batch",
 	"/v1/relatedness",
 	"/v1/stats",
+	"/v1/admin/snapshot",
 	"/healthz",
 }
 
@@ -132,6 +138,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/annotate/batch", s.handleAnnotateBatch)
 	mux.HandleFunc("GET /v1/relatedness", s.handleRelatedness)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/admin/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s.logged(mux)
 }

@@ -338,8 +338,13 @@ func TestStatsEndpoint(t *testing.T) {
 		"aida_engine_profiles",
 		"aida_engine_profile_bytes",
 		"aida_engine_pairs_cached",
-		`aida_engine_pair_hits_total{kind="MW"}`,
-		`aida_engine_pair_misses_total{kind="KORE-LSH-F"}`,
+		"aida_engine_max_profile_bytes",
+		"aida_engine_evictions_total",
+		"aida_engine_pairs_evicted_total",
+		`aida_engine_kind_hits_total{kind="MW"}`,
+		`aida_engine_kind_hits_total{kind="KORE"}`,
+		`aida_engine_kind_misses_total{kind="MW"}`,
+		`aida_engine_kind_misses_total{kind="KORE-LSH-F"}`,
 	} {
 		if !strings.Contains(prom, metric) {
 			t.Errorf("prometheus output missing %s", metric)

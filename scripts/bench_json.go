@@ -1,0 +1,156 @@
+// Command bench_json reduces `go test -bench` output into the committed
+// benchmark-trajectory artifact: one JSON record per benchmark with its
+// mean ns/op, B/op and allocs/op across repeats (-count=N runs of the same
+// benchmark are averaged). CI runs the three benchmark families with
+// -benchmem -count=5, pipes the text through this reducer and uploads the
+// result, so the perf trajectory of the engine is recorded per PR:
+//
+//	go test -run '^$' -bench 'BenchmarkAnnotateBatch|BenchmarkWarmStart' \
+//	    -benchmem -benchtime 1x -count=5 . > bench.txt
+//	go test -run '^$' -bench BenchmarkServerAnnotate \
+//	    -benchmem -benchtime 1x -count=5 ./internal/server >> bench.txt
+//	go run ./scripts < bench.txt > BENCH_5.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed benchmark result line.
+type sample struct {
+	iters  int64
+	nsOp   float64
+	bOp    float64
+	allocs float64
+}
+
+// record is the reduced, committed form of one benchmark.
+type record struct {
+	Name        string  `json:"name"`
+	Samples     int     `json:"samples"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// artifact is the BENCH_<n>.json shape.
+type artifact struct {
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	out, err := reduce(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_json:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "bench_json:", err)
+		os.Exit(1)
+	}
+}
+
+func reduce(r *os.File) (artifact, error) {
+	var art artifact
+	samples := map[string][]sample{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			art.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			art.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			art.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		name, s, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		samples[name] = append(samples[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		return art, err
+	}
+	if len(samples) == 0 {
+		return art, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	for name, ss := range samples {
+		rec := record{Name: name, Samples: len(ss)}
+		for _, s := range ss {
+			rec.Iterations += s.iters
+			rec.NsPerOp += s.nsOp
+			rec.BPerOp += s.bOp
+			rec.AllocsPerOp += s.allocs
+		}
+		n := float64(len(ss))
+		rec.NsPerOp /= n
+		rec.BPerOp /= n
+		rec.AllocsPerOp /= n
+		art.Benchmarks = append(art.Benchmarks, rec)
+	}
+	sort.Slice(art.Benchmarks, func(i, j int) bool {
+		return art.Benchmarks[i].Name < art.Benchmarks[j].Name
+	})
+	return art, nil
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-8   5   123456 ns/op   789 B/op   12 allocs/op   3.4 docs/s
+//
+// tolerating extra custom metrics. The -P GOMAXPROCS suffix is stripped so
+// records stay comparable across machines.
+func parseLine(line string) (string, sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", sample{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", sample{}, false
+	}
+	s := sample{iters: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", sample{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.nsOp = v
+			seen = true
+		case "B/op":
+			s.bOp = v
+		case "allocs/op":
+			s.allocs = v
+		}
+	}
+	return name, s, seen
+}

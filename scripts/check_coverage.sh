@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Coverage gate for the KB substrate and the disambiguation core: the
-# packages the sharding router and the scoring layers live in must stay
-# above the checked-in threshold. Run from the repository root:
+# Coverage gate for the KB substrate, the disambiguation core and the
+# scoring engine: the packages the sharding router, the scoring layers and
+# the engine persistence/eviction machinery live in must stay above the
+# checked-in threshold. Run from the repository root:
 #
 #   ./scripts/check_coverage.sh
 #
@@ -10,7 +11,7 @@
 set -eu
 
 THRESHOLD=70
-PACKAGES="./internal/kb ./internal/disambig"
+PACKAGES="./internal/kb ./internal/disambig ./internal/relatedness"
 
 status=0
 for pkg in $PACKAGES; do

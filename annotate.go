@@ -9,6 +9,7 @@ import (
 	"aida/internal/disambig"
 	"aida/internal/emerge"
 	"aida/internal/pool"
+	"aida/internal/tokenizer"
 )
 
 // Document is the result of annotating one document through the
@@ -172,7 +173,11 @@ func (s *System) annotateOne(ctx context.Context, text string, o annotateOptions
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	mentions := s.recognizer.Recognize(text)
+	// Tokenize once: recognition and context-word extraction share the
+	// same token stream (the context words of a document are a pure
+	// function of its tokens, so the annotations are unchanged).
+	tokens := tokenizer.Tokenize(text)
+	mentions := s.recognizer.RecognizeTokens(text, tokens)
 	surfaces := make([]string, len(mentions))
 	for i, m := range mentions {
 		surfaces[i] = m.Text
@@ -180,7 +185,7 @@ func (s *System) annotateOne(ctx context.Context, text string, o annotateOptions
 	if o.expand {
 		surfaces = disambig.ExpandSurfaces(s.KB, surfaces)
 	}
-	p := disambig.NewProblem(s.KB, text, surfaces, o.maxCands)
+	p := disambig.NewProblemFromWords(s.KB, tokenizer.ContentWordsFromTokens(tokens), surfaces, o.maxCands)
 	p.Scorer = s.engine
 	p.CoherenceWorkers = coherenceWorkers
 	p.Context = ctx

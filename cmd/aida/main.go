@@ -33,6 +33,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"slices"
 	"strings"
 
@@ -55,8 +57,16 @@ func main() {
 		shards   = flag.Int("shards", 1, "split the KB into this many shards behind a router (output is byte-identical at any count)")
 		snapshot = flag.String("engine-snapshot", "", "engine snapshot path: loaded before annotating if present (warm start), rewritten after a successful run")
 		maxProf  = flag.Int64("engine-max-bytes", 0, "approximate interned-profile memory budget in bytes (0 = unbounded)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
 	)
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	k, err := loadKB(*kbPath, *gen, *seed)
 	if err != nil {
@@ -121,6 +131,47 @@ func main() {
 		printResult(a.Mention.Text, a.Label, a.Entity, a.Score)
 	}
 	saveEngineSnapshot(sys, *snapshot)
+}
+
+// startProfiles starts CPU profiling to cpuPath and arranges a heap
+// profile write to memPath at stop, so annotation runs are attributable
+// with standard pprof tooling (`go tool pprof aida cpu.out`). Either path
+// may be empty. The returned stop function must run before exit for the
+// profiles to be valid; error exits skip it, which only ever loses the
+// profile of a failed run.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("create -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				log.Printf("close -cpuprofile: %v", err)
+			}
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			log.Printf("create -memprofile: %v", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle live-heap accounting before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Printf("write -memprofile: %v", err)
+		}
+	}, nil
 }
 
 // loadEngineSnapshot warm-starts the system's scoring engine from path. A

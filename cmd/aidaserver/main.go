@@ -47,6 +47,8 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -59,21 +61,22 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		kbPath   = flag.String("kb", "", "path to a KB snapshot (gob)")
-		gen      = flag.Int("gen", 0, "generate a synthetic KB with this many entities")
-		seed     = flag.Int64("seed", 42, "seed for -gen")
-		method   = flag.String("method", "aida", "method: aida, prior, sim, cuc, kul-ci, tagme, iw")
-		shards   = flag.Int("shards", 1, "split the KB into this many shards behind a router (responses are byte-identical at any count)")
-		maxCand  = flag.Int("max-candidates", 20, "candidates per mention (0 = no cap)")
-		defPar   = flag.Int("j", 0, "default per-request parallelism (0 = GOMAXPROCS)")
-		maxPar   = flag.Int("jmax", 0, "per-request parallelism cap (0 = GOMAXPROCS)")
-		maxBody  = flag.Int64("max-body", 8<<20, "max request body bytes")
-		maxBatch = flag.Int("max-batch", 1024, "max documents per batch request")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
-		jsonLog  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
-		snapshot = flag.String("engine-snapshot", "", "engine snapshot path: loaded at boot if present (warm start), written on graceful shutdown and POST /v1/admin/snapshot")
-		maxProf  = flag.Int64("engine-max-bytes", 0, "approximate interned-profile memory budget in bytes (0 = unbounded); over budget, cold profiles and their memoized pairs are evicted")
+		addr      = flag.String("addr", ":8080", "listen address")
+		kbPath    = flag.String("kb", "", "path to a KB snapshot (gob)")
+		gen       = flag.Int("gen", 0, "generate a synthetic KB with this many entities")
+		seed      = flag.Int64("seed", 42, "seed for -gen")
+		method    = flag.String("method", "aida", "method: aida, prior, sim, cuc, kul-ci, tagme, iw")
+		shards    = flag.Int("shards", 1, "split the KB into this many shards behind a router (responses are byte-identical at any count)")
+		maxCand   = flag.Int("max-candidates", 20, "candidates per mention (0 = no cap)")
+		defPar    = flag.Int("j", 0, "default per-request parallelism (0 = GOMAXPROCS)")
+		maxPar    = flag.Int("jmax", 0, "per-request parallelism cap (0 = GOMAXPROCS)")
+		maxBody   = flag.Int64("max-body", 8<<20, "max request body bytes")
+		maxBatch  = flag.Int("max-batch", 1024, "max documents per batch request")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		jsonLog   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		snapshot  = flag.String("engine-snapshot", "", "engine snapshot path: loaded at boot if present (warm start), written on graceful shutdown and POST /v1/admin/snapshot")
+		maxProf   = flag.Int64("engine-max-bytes", 0, "approximate interned-profile memory budget in bytes (0 = unbounded); over budget, cold profiles and their memoized pairs are evicted")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty = disabled")
 	)
 	flag.Parse()
 
@@ -129,6 +132,13 @@ func main() {
 		EngineSnapshotPath: *snapshot,
 	})
 
+	if *pprofAddr != "" {
+		if err := servePprof(*pprofAddr, logger); err != nil {
+			logger.Error("pprof listen", "addr", *pprofAddr, "err", err)
+			os.Exit(1)
+		}
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		logger.Error("listen", "addr", *addr, "err", err)
@@ -152,6 +162,30 @@ func main() {
 		}
 	}
 	logger.Info("stopped")
+}
+
+// servePprof starts the net/http/pprof handlers on their own listener and
+// mux — never on the public API address, so profiling stays reachable only
+// where the operator points it (typically localhost). The debug server
+// lives for the life of the process; it needs no drain.
+func servePprof(addr string, logger *slog.Logger) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("pprof serving", "addr", l.Addr().String())
+	go func() {
+		if err := http.Serve(l, mux); err != nil {
+			logger.Warn("pprof server stopped", "err", err)
+		}
+	}()
+	return nil
 }
 
 func loadKB(path string, gen int, seed int64) (*aida.KB, error) {

@@ -2,8 +2,8 @@ package disambig
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
-	"sort"
 
 	"aida/internal/graph"
 	"aida/internal/kb"
@@ -270,12 +270,20 @@ func (a *AIDA) Disambiguate(p *Problem) *Output {
 // graph entity index back to candidate index.
 func (a *AIDA) buildGraph(p *Problem, weights [][]float64, fixed []int, scorer *cohScorer) (*graph.Graph, [][]int) {
 	// Graph entity nodes = distinct candidates (shared across mentions).
-	nodeOf := make(map[string]int)
-	var nodeCand []*Candidate
+	total := 0
+	for i := range p.Mentions {
+		total += len(p.Mentions[i].Candidates)
+	}
+	nodeOf := make(map[string]int, total)
+	nodeCand := make([]*Candidate, 0, total)
 	candOf := make([][]int, len(p.Mentions)) // graph node → candidate index per mention
 	type meEdge struct{ m, node, cand int }
-	var meEdges []meEdge
+	meEdges := make([]meEdge, 0, total)
+	// meStart[i] marks where mention i's edges begin in meEdges (the outer
+	// loop visits mentions in order, so edges are already grouped).
+	meStart := make([]int, len(p.Mentions)+1)
 	for i := range p.Mentions {
+		meStart[i] = len(meEdges)
 		m := &p.Mentions[i]
 		for j := range m.Candidates {
 			if fixed[i] >= 0 && j != fixed[i] {
@@ -291,14 +299,19 @@ func (a *AIDA) buildGraph(p *Problem, weights [][]float64, fixed []int, scorer *
 			meEdges = append(meEdges, meEdge{m: i, node: node, cand: j})
 		}
 	}
+	meStart[len(p.Mentions)] = len(meEdges)
+	nNodes := len(nodeCand)
+	// candOf rows share one flat backing array (full-capacity sub-slices,
+	// so a row can never grow into its neighbor).
+	flat := make([]int, len(p.Mentions)*nNodes)
+	for i := range flat {
+		flat[i] = -1
+	}
 	for i := range candOf {
-		candOf[i] = make([]int, len(nodeCand))
-		for j := range candOf[i] {
-			candOf[i][j] = -1
-		}
+		candOf[i] = flat[i*nNodes : (i+1)*nNodes : (i+1)*nNodes]
 	}
 
-	g := graph.New(len(p.Mentions), len(nodeCand))
+	g := graph.New(len(p.Mentions), nNodes)
 	var meSum float64
 	var meCount int
 	for _, e := range meEdges {
@@ -313,41 +326,44 @@ func (a *AIDA) buildGraph(p *Problem, weights [][]float64, fixed []int, scorer *
 	}
 
 	// Coherence edges between candidates of different mentions only
-	// (candidates sharing a single mention are mutually exclusive).
-	edgesByMention := make([][]meEdge, len(p.Mentions))
-	for _, e := range meEdges {
-		edgesByMention[e.m] = append(edgesByMention[e.m], e)
-	}
-	pairNeeded := make(map[[2]int]bool)
+	// (candidates sharing a single mention are mutually exclusive). The
+	// needed-pair set is a bitset over node pairs — index lo*nNodes+hi —
+	// instead of a map, so the quadratic mark phase allocates nothing and
+	// reading the set bits in index order IS ascending (lo,hi) order: the
+	// sorted enumeration the bit-for-bit-reproducible rescaling below
+	// requires, with no sort at all.
+	pairBits := make([]uint64, (nNodes*nNodes+63)/64)
+	npairs := 0
 	for i := 0; i < len(p.Mentions); i++ {
 		for j := i + 1; j < len(p.Mentions); j++ {
-			for _, ei := range edgesByMention[i] {
-				for _, ej := range edgesByMention[j] {
+			for _, ei := range meEdges[meStart[i]:meStart[i+1]] {
+				for _, ej := range meEdges[meStart[j]:meStart[j+1]] {
 					if ei.node == ej.node {
 						continue
 					}
-					k := [2]int{ei.node, ej.node}
-					if k[0] > k[1] {
-						k[0], k[1] = k[1], k[0]
+					lo, hi := ei.node, ej.node
+					if lo > hi {
+						lo, hi = hi, lo
 					}
-					pairNeeded[k] = true
+					idx := lo*nNodes + hi
+					w, mask := idx>>6, uint64(1)<<(idx&63)
+					if pairBits[w]&mask == 0 {
+						pairBits[w] |= mask
+						npairs++
+					}
 				}
 			}
 		}
 	}
-	// Score coherence pairs with the bounded worker pool, then accumulate
-	// edge sums in sorted pair order so the rescaling below is bit-for-bit
-	// reproducible (map iteration order never reaches a float sum).
-	pairs := make([][2]int, 0, len(pairNeeded))
-	for k := range pairNeeded {
-		pairs = append(pairs, k)
-	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i][0] != pairs[j][0] {
-			return pairs[i][0] < pairs[j][0]
+	pairs := make([][2]int, 0, npairs)
+	for w, word := range pairBits {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << bit
+			idx := w<<6 + bit
+			pairs = append(pairs, [2]int{idx / nNodes, idx % nNodes})
 		}
-		return pairs[i][1] < pairs[j][1]
-	})
+	}
 	candPairs := make([][2]*Candidate, len(pairs))
 	for i, k := range pairs {
 		candPairs[i] = [2]*Candidate{nodeCand[k[0]], nodeCand[k[1]]}
@@ -387,6 +403,9 @@ func (a *AIDA) buildGraph(p *Problem, weights [][]float64, fixed []int, scorer *
 	gamma := a.Config.gamma()
 	for _, e := range eeEdges {
 		g.AddEntityEdge(e.a, e.b, gamma*scale*e.w)
+	}
+	for i := range p.Mentions {
+		g.ReserveMentionEdges(i, meStart[i+1]-meStart[i])
 	}
 	for _, e := range meEdges {
 		g.AddMentionEdge(e.m, e.node, (1-gamma)*weights[e.m][e.cand])

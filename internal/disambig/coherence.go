@@ -43,8 +43,14 @@ type cohScorer struct {
 	pmu      sync.Mutex
 	profiles []*relatedness.Profile
 
-	mu    sync.Mutex
-	cache map[[2]int]float64
+	mu sync.Mutex
+	// The pair cache is a dense upper-triangle array over the candidates
+	// interned at construction time (nc of them): one allocation per
+	// problem instead of a per-pair-growing map, which was the single
+	// largest per-document heap cost. pairIdx maps (lo,hi) to a slot.
+	nc   int
+	vals []float64
+	have []bool
 	// comparisons counts exact pairwise relatedness computations: one per
 	// distinct allowed pair requested in this problem (engine cache hits
 	// included, so the count matches the engine-free path).
@@ -58,7 +64,6 @@ func newCohScorer(kind relatedness.Kind, p *Problem) *cohScorer {
 		byKey:  make(map[string]int),
 		n:      p.TotalEntities,
 		engine: p.Scorer,
-		cache:  make(map[[2]int]float64),
 		weight: func(w string) float64 {
 			return p.wordIDF(w)
 		},
@@ -69,14 +74,26 @@ func newCohScorer(kind relatedness.Kind, p *Problem) *cohScorer {
 			s.cid(&m.Candidates[j])
 		}
 	}
+	s.nc = len(s.cands)
+	npairs := s.nc * (s.nc - 1) / 2
+	s.vals = make([]float64, npairs)
+	s.have = make([]bool, npairs)
 	if kind.IsLSH() {
 		s.buildFilter()
 	}
 	return s
 }
 
+// pairIdx maps an unordered interned pair (lo < hi, both < nc) to its
+// upper-triangle cache slot.
+func (s *cohScorer) pairIdx(lo, hi int) int {
+	return lo*s.nc - lo*(lo+1)/2 + (hi - lo - 1)
+}
+
 // cid interns a candidate and returns its dense id. All candidates are
-// interned during construction; concurrent score calls only take the
+// interned during construction — score is only ever called with candidates
+// of the problem the scorer was built from, so ids stay below nc and the
+// dense pair cache covers every pair; concurrent score calls only take the
 // read-only fast path.
 func (s *cohScorer) cid(c *Candidate) int {
 	if id, ok := s.byKey[c.Label]; ok {
@@ -169,30 +186,34 @@ func (s *cohScorer) score(a, b *Candidate) float64 {
 	if ia == ib {
 		return 0 // mutually exclusive candidates of the same entity
 	}
-	key := [2]int{ia, ib}
-	if ia > ib {
-		key = [2]int{ib, ia}
+	lo, hi := ia, ib
+	if lo > hi {
+		lo, hi = hi, lo
 	}
+	idx := s.pairIdx(lo, hi)
 	s.mu.Lock()
-	v, ok := s.cache[key]
-	s.mu.Unlock()
-	if ok {
+	if s.have[idx] {
+		v := s.vals[idx]
+		s.mu.Unlock()
 		return v
 	}
-	if s.allowed != nil && !s.allowed[key] {
+	s.mu.Unlock()
+	if s.allowed != nil && !s.allowed[[2]int{lo, hi}] {
 		s.mu.Lock()
-		s.cache[key] = 0
+		s.vals[idx] = 0
+		s.have[idx] = true
 		s.mu.Unlock()
 		return 0
 	}
-	v = s.relatedness(ia, ib, a, b) * a.edgeScale() * b.edgeScale()
+	v := s.relatedness(ia, ib, a, b) * a.edgeScale() * b.edgeScale()
 	// First writer wins: the value is a pure function of the pair, so
 	// concurrent computations agree; the counter advances once per pair.
 	s.mu.Lock()
-	if prev, ok := s.cache[key]; ok {
-		v = prev
+	if s.have[idx] {
+		v = s.vals[idx]
 	} else {
-		s.cache[key] = v
+		s.vals[idx] = v
+		s.have[idx] = true
 		s.comparisons++
 	}
 	s.mu.Unlock()

@@ -120,6 +120,11 @@ func NewProblem(k kb.Store, text string, surfaces []string, maxCandidates int) *
 }
 
 // NewProblemFromWords is NewProblem on pre-tokenized context words.
+//
+// All mentions' candidate structs live in one arena allocation (each
+// mention's slice is a full-capacity view into it, so appending to one can
+// never clobber a neighbor): per-mention materialization was a measurable
+// slice of the per-document allocation volume.
 func NewProblemFromWords(k kb.Store, contextWords, surfaces []string, maxCandidates int) *Problem {
 	p := &Problem{
 		ContextWords:  contextWords,
@@ -127,11 +132,23 @@ func NewProblemFromWords(k kb.Store, contextWords, surfaces []string, maxCandida
 		WordIDF:       k.WordIDF,
 		TotalEntities: k.NumEntities(),
 	}
-	for _, s := range surfaces {
-		p.Mentions = append(p.Mentions, Mention{
-			Surface:    s,
-			Candidates: MaterializeCandidates(k, s, maxCandidates),
-		})
+	lists := make([][]kb.Candidate, len(surfaces))
+	total := 0
+	for i, s := range surfaces {
+		cands := k.Candidates(s)
+		if maxCandidates > 0 && len(cands) > maxCandidates {
+			cands = cands[:maxCandidates]
+		}
+		lists[i] = cands
+		total += len(cands)
+	}
+	arena := make([]Candidate, total)
+	off := 0
+	for i, s := range surfaces {
+		dst := arena[off : off+len(lists[i]) : off+len(lists[i])]
+		off += len(lists[i])
+		fillCandidates(k, lists[i], dst)
+		p.Mentions = append(p.Mentions, Mention{Surface: s, Candidates: dst})
 	}
 	return p
 }
@@ -145,9 +162,16 @@ func MaterializeCandidates(k kb.Store, surface string, maxCandidates int) []Cand
 		cands = cands[:maxCandidates]
 	}
 	out := make([]Candidate, len(cands))
+	fillCandidates(k, cands, out)
+	return out
+}
+
+// fillCandidates materializes candidate structs into dst (len(cands) long),
+// attaching the owning entity's features.
+func fillCandidates(k kb.Store, cands []kb.Candidate, dst []Candidate) {
 	for i, c := range cands {
 		ent := k.Entity(c.Entity)
-		out[i] = Candidate{
+		dst[i] = Candidate{
 			Entity:      c.Entity,
 			Label:       ent.Name,
 			Prior:       c.Prior,
@@ -157,7 +181,6 @@ func MaterializeCandidates(k kb.Store, surface string, maxCandidates int) []Cand
 			InLinks:     ent.InLinks,
 		}
 	}
-	return out
 }
 
 // Clone returns a deep-enough copy of the problem for perturbation: the

@@ -56,6 +56,15 @@ func (g *Graph) AddMentionEdge(m, e int, w float64) {
 	g.mentionEdges[m] = append(g.mentionEdges[m], Edge{Entity: e, Weight: w})
 }
 
+// ReserveMentionEdges pre-sizes mention m's edge list for n AddMentionEdge
+// calls, so a caller that knows its edge counts builds the graph with one
+// allocation per mention instead of append doublings.
+func (g *Graph) ReserveMentionEdges(m, n int) {
+	if cap(g.mentionEdges[m]) < n {
+		g.mentionEdges[m] = make([]Edge, len(g.mentionEdges[m]), n)
+	}
+}
+
 // AddEntityEdge adds (or overwrites) the coherence edge between entities a
 // and b. Zero-weight edges are dropped.
 func (g *Graph) AddEntityEdge(a, b int, w float64) {

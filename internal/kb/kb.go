@@ -69,6 +69,7 @@ type KB struct {
 	entities  []Entity
 	byName    map[string]EntityID    // canonical name → id
 	dict      map[string][]nameEntry // normalized surface → entries
+	cands     map[string][]Candidate // normalized surface → materialized candidates
 	phraseIDF map[string]float64
 	wordIDF   map[string]float64
 
@@ -104,8 +105,12 @@ func (k *KB) HasName(normalized string) bool {
 // Candidates returns the candidate entities for a surface form, sorted by
 // descending prior (ties broken by id for determinism). A nil slice means
 // the dictionary has no entry and the mention trivially refers to an OOE.
+// The returned slice is shared and must not be modified: priors are
+// materialized once at construction time (via candidatesFrom, so the bytes
+// match the historical per-call computation), which takes the dictionary
+// lookup off the annotate hot path's allocation budget.
 func (k *KB) Candidates(surface string) []Candidate {
-	return candidatesFrom(k.dict[NormalizeName(surface)])
+	return k.cands[NormalizeName(surface)]
 }
 
 // sortCandidates orders candidates by descending prior, ties by ascending
@@ -263,6 +268,7 @@ func (b *Builder) Build() *KB {
 		sort.Slice(entries, func(i, j int) bool { return entries[i].Entity < entries[j].Entity })
 		k.dict[key] = entries
 	}
+	k.cands = precomputeCandidates(k.dict)
 
 	// Link sets.
 	inLinks := make(map[EntityID][]EntityID)

@@ -55,6 +55,10 @@ type shard struct {
 	// dict holds the full rows of the normalized surfaces this shard owns
 	// (rows are shared with the source KB; both sides are immutable).
 	dict map[string][]nameEntry
+	// cands holds the precomputed candidate slices for those rows, shared
+	// with the source KB — the same backing arrays the unsharded KB serves,
+	// so router results are byte-identical by construction.
+	cands map[string][]Candidate
 }
 
 // ShardedKB is a knowledge base split into N shards behind a routing
@@ -91,6 +95,7 @@ func Shard(k *KB, n int) *ShardedKB {
 		sh.entities = make([]Entity, 0, (s.total+n-1)/n)
 		sh.byName = make(map[string]EntityID)
 		sh.dict = make(map[string][]nameEntry)
+		sh.cands = make(map[string][]Candidate)
 	}
 	for id := range k.entities {
 		sh := &s.shards[EntityShard(EntityID(id), n)]
@@ -100,6 +105,7 @@ func Shard(k *KB, n int) *ShardedKB {
 	for key, entries := range k.dict {
 		sh := &s.shards[NameShard(key, n)]
 		sh.dict[key] = entries
+		sh.cands[key] = k.cands[key]
 	}
 	return s
 }
@@ -150,13 +156,13 @@ func (s *ShardedKB) HasName(normalized string) bool {
 }
 
 // Candidates routes the surface lookup to the shard owning its dictionary
-// row and materializes candidates from the merged entry set: priors are
-// recomputed over all entries with the unsharded KB's exact arithmetic and
-// sorted by descending prior, ties by ascending id — byte-identical to
-// (*KB).Candidates.
+// row and returns its precomputed candidate slice — the very backing array
+// the unsharded KB serves (shards share the source KB's materialized
+// candidates), so router results are byte-identical to (*KB).Candidates.
+// The returned slice is shared and must not be modified.
 func (s *ShardedKB) Candidates(surface string) []Candidate {
 	key := NormalizeName(surface)
-	return candidatesFrom(s.shards[NameShard(key, s.n)].dict[key])
+	return s.shards[NameShard(key, s.n)].cands[key]
 }
 
 // Prior returns P(entity|surface), or 0 when the pair is unknown.

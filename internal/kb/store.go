@@ -22,7 +22,8 @@ type Store interface {
 	HasName(normalized string) bool
 	// Candidates returns the candidate entities for a surface form, sorted
 	// by descending prior (ties broken by ascending id). A nil slice means
-	// the dictionary has no entry.
+	// the dictionary has no entry. The returned slice is shared across
+	// calls and must not be modified by the caller.
 	Candidates(surface string) []Candidate
 	// Prior returns P(entity|surface), or 0 when the pair is unknown.
 	Prior(surface string, e EntityID) float64
@@ -59,7 +60,8 @@ func (k *KB) NumShards() int { return 1 }
 // prior with ties broken by ascending id. Both the single KB and the
 // sharded router build their results through this one function, which is
 // what makes their outputs byte-identical (same summation order, same
-// float divisions, same comparator).
+// float divisions, same comparator). It runs once per dictionary key at
+// construction time (see precomputeCandidates), never on the lookup path.
 func candidatesFrom(entries []nameEntry) []Candidate {
 	if len(entries) == 0 {
 		return nil
@@ -77,5 +79,16 @@ func candidatesFrom(entries []nameEntry) []Candidate {
 		out[i] = Candidate{Entity: e.Entity, Prior: prior, Count: e.Count}
 	}
 	sortCandidates(out)
+	return out
+}
+
+// precomputeCandidates materializes the candidate slice of every
+// dictionary key up front. Candidates() then returns the shared immutable
+// slice, so a surface lookup during annotation allocates nothing.
+func precomputeCandidates(dict map[string][]nameEntry) map[string][]Candidate {
+	out := make(map[string][]Candidate, len(dict))
+	for key, entries := range dict {
+		out[key] = candidatesFrom(entries)
+	}
 	return out
 }

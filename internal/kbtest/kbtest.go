@@ -156,20 +156,37 @@ type wireDoc struct {
 	Stats       wireStats         `json:"stats"`
 }
 
+// ConformanceOptions are the AnnotateDoc options of the pinned pipeline
+// run: candidates, seeded CONF confidence and work counters all included,
+// so every field of the wire shape is populated.
+func ConformanceOptions() []aida.AnnotateOption {
+	return []aida.AnnotateOption{
+		aida.IncludeCandidates(),
+		aida.IncludeConfidence(ConfIterations, ConfSeed),
+		aida.IncludeStats(),
+	}
+}
+
 // AnnotateJSON runs the full pipeline on one document and returns the
 // canonical JSON the conformance suite compares byte for byte: the
 // annotations, the per-mention candidate lists with priors and final
 // scores, the seeded CONF confidence vector and the work counters.
 func AnnotateJSON(t testing.TB, sys *aida.System, text string) []byte {
 	t.Helper()
-	doc, err := sys.AnnotateDoc(context.Background(), text,
-		aida.IncludeCandidates(),
-		aida.IncludeConfidence(ConfIterations, ConfSeed),
-		aida.IncludeStats(),
-	)
+	doc, err := sys.AnnotateDoc(context.Background(), text, ConformanceOptions()...)
 	if err != nil {
 		t.Fatalf("AnnotateDoc: %v", err)
 	}
+	data, err := MarshalDoc(doc)
+	if err != nil {
+		t.Fatalf("marshal golden output: %v", err)
+	}
+	return data
+}
+
+// MarshalDoc renders an annotated document in the suite's canonical JSON
+// form. The document must come from a run with ConformanceOptions.
+func MarshalDoc(doc *aida.Document) ([]byte, error) {
 	out := wireDoc{
 		Annotations: make([]wireAnnotation, len(doc.Annotations)),
 		Candidates:  make([][]wireCandidate, len(doc.Candidates)),
@@ -193,7 +210,7 @@ func AnnotateJSON(t testing.TB, sys *aida.System, text string) []byte {
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
-		t.Fatalf("marshal golden output: %v", err)
+		return nil, err
 	}
-	return append(data, '\n')
+	return append(data, '\n'), nil
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package kbtest
+
+// raceEnabled reports whether this binary was built with the race
+// detector; timing-sensitive tests skip themselves under it.
+const raceEnabled = false

@@ -1,5 +1,7 @@
 // Package pool provides the bounded index fan-out primitive shared by the
-// batch-annotation, coherence-scoring and chunk-harvesting paths.
+// batch-annotation, coherence-scoring and chunk-harvesting paths, plus the
+// typed scratch pool that backs the annotate hot path's per-document
+// buffer reuse.
 package pool
 
 import (
@@ -7,6 +9,42 @@ import (
 	"sync"
 	"sync/atomic"
 )
+
+// Scratch is a typed free list of *T built on sync.Pool: the idiom every
+// per-document scratch buffer on the annotate hot path shares. New builds
+// a fresh value on an empty pool; Reset (optional) is applied on Put so a
+// recycled value can never leak one document's state into the next — the
+// pooling packages reset eagerly at the recycle point, which keeps the Get
+// path allocation- and branch-free.
+type Scratch[T any] struct {
+	// New constructs a fresh value when the pool is empty (required).
+	New func() *T
+	// Reset clears a value before it is recycled (nil = no clearing).
+	Reset func(*T)
+
+	once sync.Once
+	p    sync.Pool
+}
+
+// Get returns a cleared scratch value, reusing a recycled one when
+// available.
+func (s *Scratch[T]) Get() *T {
+	s.once.Do(func() { s.p.New = func() any { return s.New() } })
+	return s.p.Get().(*T)
+}
+
+// Put resets v and makes it available for reuse. v must not be used after
+// Put returns.
+func (s *Scratch[T]) Put(v *T) {
+	if v == nil {
+		return
+	}
+	if s.Reset != nil {
+		s.Reset(v)
+	}
+	s.once.Do(func() { s.p.New = func() any { return s.New() } })
+	s.p.Put(v)
+}
 
 // ForEach runs fn(i) for every i in [0, n) on up to workers goroutines and
 // returns when all calls have completed. workers ≤ 1 (or n ≤ 1) runs

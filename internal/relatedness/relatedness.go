@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"aida/internal/kb"
+	"aida/internal/pool"
 )
 
 // Weighter assigns a weight to a keyword; KORE uses the global keyword IDF
@@ -151,6 +152,19 @@ func phraseOverlap(a, b *phraseData, weight Weighter) float64 {
 	return inter / union
 }
 
+// koreScratch is the per-call phrase-pair dedup table of KOREProfiles: a
+// stamp array over b's phrase indices, so "seen this pair" is one array
+// read instead of a per-call map. cur is bumped per a-phrase; a slot is
+// seen iff its stamp equals cur, so no clearing between phrases is needed.
+type koreScratch struct {
+	stamp []uint32
+	cur   uint32
+}
+
+var koreBufs = pool.Scratch[koreScratch]{
+	New: func() *koreScratch { return &koreScratch{} },
+}
+
 // KOREProfiles computes the keyphrase overlap relatedness (Eq. 4.4) of two
 // profiles:
 //
@@ -162,16 +176,24 @@ func KOREProfiles(a, b *Profile) float64 {
 	}
 	// Enumerate phrase pairs sharing at least one word, each pair once.
 	var num float64
-	seen := make(map[int]bool)
+	sc := koreBufs.Get()
+	if len(sc.stamp) < len(b.phrases) {
+		sc.stamp = make([]uint32, len(b.phrases))
+		sc.cur = 0
+	}
 	for pi := range a.phrases {
 		pa := &a.phrases[pi]
-		clear(seen)
+		sc.cur++
+		if sc.cur == 0 { // stamp wrapped: reset the table once
+			clear(sc.stamp)
+			sc.cur = 1
+		}
 		for _, w := range pa.words {
 			for _, qi := range b.wordToPhrases[w] {
-				if seen[qi] {
+				if sc.stamp[qi] == sc.cur {
 					continue
 				}
-				seen[qi] = true
+				sc.stamp[qi] = sc.cur
 				qb := &b.phrases[qi]
 				po := phraseOverlap(pa, qb, a.weight)
 				if po <= 0 {
@@ -181,6 +203,7 @@ func KOREProfiles(a, b *Profile) float64 {
 			}
 		}
 	}
+	koreBufs.Put(sc)
 	v := num / den
 	if v > 1 {
 		v = 1

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"aida"
+	"aida/internal/pool"
 )
 
 // Annotation is the wire form of one aida.Annotation. Entity is -1 when
@@ -27,18 +29,23 @@ type Annotation struct {
 // single and the batch endpoint go through here, which is what makes
 // batch responses byte-identical to N single responses.
 func wireAnnotations(anns []aida.Annotation) []Annotation {
-	out := make([]Annotation, len(anns))
-	for i, a := range anns {
-		out[i] = Annotation{
+	return appendWireAnnotations(make([]Annotation, 0, len(anns)), anns)
+}
+
+// appendWireAnnotations is wireAnnotations into a caller-owned slice, so
+// the NDJSON stream can reuse one wire buffer across lines.
+func appendWireAnnotations(dst []Annotation, anns []aida.Annotation) []Annotation {
+	for _, a := range anns {
+		dst = append(dst, Annotation{
 			Text:   a.Mention.Text,
 			Start:  a.Mention.Start,
 			End:    a.Mention.End,
 			Entity: a.Entity,
 			Label:  a.Label,
 			Score:  a.Score,
-		}
+		})
 	}
-	return out
+	return dst
 }
 
 type annotateRequest struct {
@@ -119,6 +126,24 @@ type batchLine struct {
 	Annotations []Annotation `json:"annotations"`
 }
 
+// ndjsonScratch is the per-stream encode state: one line buffer and one
+// wire-annotation slice, recycled across lines and across requests.
+type ndjsonScratch struct {
+	buf  bytes.Buffer
+	wire []Annotation
+}
+
+var ndjsonBufs = pool.Scratch[ndjsonScratch]{
+	New: func() *ndjsonScratch { return &ndjsonScratch{} },
+	// Drop string references so a pooled scratch cannot pin a finished
+	// response's text in memory.
+	Reset: func(sc *ndjsonScratch) {
+		sc.buf.Reset()
+		clear(sc.wire)
+		sc.wire = sc.wire[:0]
+	},
+}
+
 func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if !s.decodeBody(w, r, &req) {
@@ -146,14 +171,24 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
 		flusher, _ := w.(http.Flusher)
-		enc := json.NewEncoder(w)
+		// Encode each line into a pooled scratch buffer and reuse one wire
+		// slice across lines, so a long stream's per-line heap cost is the
+		// line bytes written, not fresh encoder and annotation buffers.
+		sc := ndjsonBufs.Get()
+		defer ndjsonBufs.Put(sc)
+		enc := json.NewEncoder(&sc.buf)
 		for doc, err := range s.sys.AnnotateStream(r.Context(), slices.Values(req.Docs), opts...) {
 			if err != nil {
 				s.noteCanceled(w, r, err)
 				return
 			}
 			s.documents.Add(1)
-			if err := enc.Encode(batchLine{Index: doc.Index, Annotations: wireAnnotations(doc.Annotations)}); err != nil {
+			sc.buf.Reset()
+			sc.wire = appendWireAnnotations(sc.wire[:0], doc.Annotations)
+			if err := enc.Encode(batchLine{Index: doc.Index, Annotations: sc.wire}); err != nil {
+				return // marshal failure; nothing sensible to stream
+			}
+			if _, err := w.Write(sc.buf.Bytes()); err != nil {
 				// Client went away mid-stream; the stream's workers stop
 				// with us. Count the disconnect if the context confirms it.
 				if cerr := r.Context().Err(); cerr != nil {

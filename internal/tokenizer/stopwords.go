@@ -46,3 +46,22 @@ func ContentWords(text string) []string {
 	}
 	return out
 }
+
+// ContentWordsFromTokens is ContentWords over an already-tokenized
+// document, so callers that tokenize once per document (NER + context
+// extraction) do not pay for a second tokenization pass. The result is
+// identical to ContentWords on the text the tokens came from.
+func ContentWordsFromTokens(tokens []Token) []string {
+	out := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		if t.IsPunct() {
+			continue
+		}
+		w := Normalize(t.Text)
+		if stopwords[w] {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}

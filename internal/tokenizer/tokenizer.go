@@ -10,6 +10,8 @@ package tokenizer
 import (
 	"strings"
 	"unicode"
+
+	"aida/internal/pool"
 )
 
 // Token is a single token with its position in the original text.
@@ -103,6 +105,19 @@ func isTokenRune(r rune) bool {
 	return unicode.IsLetter(r) || unicode.IsDigit(r)
 }
 
+// tokenizeScratch holds the per-call rune and byte-offset buffers of the
+// tokenizer. Tokenization runs once per document on the annotate hot path,
+// so these buffers are recycled through a pool instead of being
+// reallocated per call.
+type tokenizeScratch struct {
+	runes []rune
+	offs  []int
+}
+
+var tokenizeBufs = pool.Scratch[tokenizeScratch]{
+	New: func() *tokenizeScratch { return &tokenizeScratch{} },
+}
+
 // Tokenize splits text into tokens with byte offsets and sentence indices.
 //
 // Rules: letters and digits form word tokens; intra-word apostrophes,
@@ -110,21 +125,25 @@ func isTokenRune(r rune) bool {
 // all other punctuation becomes single-rune tokens. Sentences are split on
 // ".", "!", "?" when the next non-space rune starts a new sentence.
 func Tokenize(text string) []Token {
-	var tokens []Token
+	return AppendTokens(nil, text)
+}
+
+// AppendTokens is Tokenize appending into a caller-owned slice, so a
+// caller annotating a stream of documents can reuse one token buffer
+// across them. Token.Text values are substrings of text (no per-token
+// copies), matching the field's contract: the surface form exactly as in
+// the input.
+func AppendTokens(tokens []Token, text string) []Token {
 	sentence := 0
 	i := 0
-	n := len(text)
-	runes := []rune(text)
-	// byte offset of each rune
-	offs := make([]int, len(runes)+1)
-	{
-		b := 0
-		for ri, r := range runes {
-			offs[ri] = b
-			b += len(string(r))
-		}
-		offs[len(runes)] = n
+	sc := tokenizeBufs.Get()
+	runes, offs := sc.runes[:0], sc.offs[:0]
+	for b, r := range text {
+		runes = append(runes, r)
+		offs = append(offs, b)
 	}
+	offs = append(offs, len(text))
+	base := len(tokens)
 	flushSentence := func(ri int) bool {
 		// A sentence ends if the ending punctuation is followed by
 		// whitespace and then an uppercase letter, a digit, or EOF.
@@ -171,24 +190,24 @@ func Tokenize(text string) []Token {
 				break
 			}
 			// Trailing abbreviation period: "U.S." keeps its final dot.
-			if j < len(runes) && runes[j] == '.' && isAbbrevToken(string(runes[i:j])) {
+			if j < len(runes) && runes[j] == '.' && isAbbrevRunes(runes[i:j]) {
 				j++
 			}
 			tokens = append(tokens, Token{
-				Text:     string(runes[i:j]),
+				Text:     text[offs[i]:offs[j]],
 				Start:    offs[i],
 				End:      offs[j],
 				Sentence: sentence,
-				Index:    len(tokens),
+				Index:    len(tokens) - base,
 			})
 			i = j
 		default:
 			tokens = append(tokens, Token{
-				Text:     string(r),
+				Text:     text[offs[i]:offs[i+1]],
 				Start:    offs[i],
 				End:      offs[i+1],
 				Sentence: sentence,
-				Index:    len(tokens),
+				Index:    len(tokens) - base,
 			})
 			if isSentenceEnder(r) && flushSentence(i) {
 				sentence++
@@ -196,6 +215,8 @@ func Tokenize(text string) []Token {
 			i++
 		}
 	}
+	sc.runes, sc.offs = runes, offs
+	tokenizeBufs.Put(sc)
 	return tokens
 }
 
@@ -213,18 +234,24 @@ func isAbbrevDot(runes []rune, start, j int) bool {
 	return segLen == 1 && unicode.IsLetter(runes[j-1])
 }
 
-// isAbbrevToken reports whether s looks like a dotted abbreviation body
-// ("U.S", "U.N") whose trailing period belongs to the token.
-func isAbbrevToken(s string) bool {
-	if !strings.Contains(s, ".") {
-		return false
-	}
-	for _, seg := range strings.Split(s, ".") {
-		if len([]rune(seg)) > 1 {
+// isAbbrevRunes reports whether the rune span looks like a dotted
+// abbreviation body ("U.S", "U.N") whose trailing period belongs to the
+// token.
+func isAbbrevRunes(rs []rune) bool {
+	dots := 0
+	seg := 0
+	for _, r := range rs {
+		if r == '.' {
+			dots++
+			seg = 0
+			continue
+		}
+		seg++
+		if seg > 1 {
 			return false
 		}
 	}
-	return true
+	return dots > 0
 }
 
 // Sentences groups tokens by their sentence index, preserving order.

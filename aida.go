@@ -1,6 +1,7 @@
 package aida
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"maps"
@@ -32,6 +33,28 @@ type (
 	// ShardedKB is a knowledge base split into N shards behind a
 	// deterministic routing layer; build one with ShardKB.
 	ShardedKB = kb.ShardedKB
+	// RemoteStore is a Store served by a fleet of remote shard hosts,
+	// dialed with DialFleet. Annotation over it is byte-identical to a
+	// local KB; fetches are batched per shard, hedged past a latency
+	// threshold, and failed over across replicas.
+	RemoteStore = kb.RemoteStore
+	// RemoteOptions tune a DialFleet connection (HTTP client, hedge
+	// threshold, retry backoff, expected KB fingerprint).
+	RemoteOptions = kb.RemoteOptions
+	// RemoteStats is a snapshot of a RemoteStore's fetch counters.
+	RemoteStats = kb.RemoteStats
+	// RemoteError is the terminal failure of one remote store operation:
+	// every replica of a shard failed. AnnotateDoc and friends return it
+	// as the request error.
+	RemoteError = kb.RemoteError
+	// ShardMap is the fleet topology a remote router dials: one entry per
+	// shard naming a primary endpoint and optional replicas.
+	ShardMap = kb.ShardMap
+	// ShardEndpoints lists one shard's hosts, primary first.
+	ShardEndpoints = kb.ShardEndpoints
+	// StoreHost serves one shard of a Store's read surface over HTTP so
+	// remote routers can dial it; build one with NewStoreHost.
+	StoreHost = kb.StoreHost
 	// KBBuilder assembles a KB.
 	KBBuilder = kb.Builder
 	// EntityID identifies a KB entity; NoEntity marks out-of-KB.
@@ -124,6 +147,27 @@ func LoadKB(r io.Reader) (*KB, error) { return kb.Load(r) }
 // Annotation over the returned store is byte-identical to annotation over
 // k at any shard count; n must be ≥ 1.
 func ShardKB(k *KB, n int) *ShardedKB { return kb.Shard(k, n) }
+
+// LoadShardMap reads and validates a shard-fleet topology file (the
+// -shard-map flag of cmd/aidaserver and cmd/aida; see kb.ShardMap for the
+// JSON shape).
+func LoadShardMap(path string) (ShardMap, error) { return kb.LoadShardMap(path) }
+
+// DialFleet connects to a remote shard fleet and returns a Store the
+// pipeline runs over unchanged: it validates the topology and the fleet's
+// agreed-on KB fingerprint, mirrors the dictionary key set and IDF tables
+// locally, and fetches entities and candidate rows on demand with
+// per-shard batching, hedging and replica failover.
+func DialFleet(ctx context.Context, m ShardMap, opts RemoteOptions) (*RemoteStore, error) {
+	return kb.DialFleet(ctx, m, opts)
+}
+
+// NewStoreHost wraps a store as shard `shard` of a `shards`-wide fleet,
+// ready to serve the remote KB read surface (the -shard-host flag of
+// cmd/aidaserver mounts it under /v1/store/).
+func NewStoreHost(s Store, shard, shards int) (*StoreHost, error) {
+	return kb.NewStoreHost(s, shard, shards)
+}
 
 // NewAIDAMethod returns the full AIDA method (robustness tests + MW
 // coherence), the dissertation's best configuration.

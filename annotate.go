@@ -8,6 +8,7 @@ import (
 
 	"aida/internal/disambig"
 	"aida/internal/emerge"
+	"aida/internal/kb"
 	"aida/internal/pool"
 	"aida/internal/tokenizer"
 )
@@ -169,10 +170,25 @@ func (s *System) requestOptions(opts []AnnotateOption) (annotateOptions, error) 
 // the method's own default; the override never changes results, only
 // scheduling. ctx cancels in-flight scoring; on cancellation the partial
 // output is discarded and ctx.Err() returned.
-func (s *System) annotateOne(ctx context.Context, text string, o annotateOptions, coherenceWorkers int) (*Document, error) {
+func (s *System) annotateOne(ctx context.Context, text string, o annotateOptions, coherenceWorkers int) (doc *Document, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// A remote-backed KB (kb.RemoteStore) has no error returns on the Store
+	// read surface: a shard whose every replica failed surfaces as a panic
+	// carrying *kb.RemoteError. Convert it to a request error here — the one
+	// funnel every annotation passes through — so callers (and the HTTP
+	// server) see a failed request, not a crashed process. Any other panic
+	// is a real bug and propagates.
+	defer func() {
+		if r := recover(); r != nil {
+			re, ok := r.(*kb.RemoteError)
+			if !ok {
+				panic(r)
+			}
+			doc, err = nil, re
+		}
+	}()
 	// Tokenize once: recognition and context-word extraction share the
 	// same token stream (the context words of a document are a pure
 	// function of its tokens, so the annotations are unchanged).
@@ -193,7 +209,7 @@ func (s *System) annotateOne(ctx context.Context, text string, o annotateOptions
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	doc := &Document{Annotations: make([]Annotation, len(mentions))}
+	doc = &Document{Annotations: make([]Annotation, len(mentions))}
 	for i, m := range mentions {
 		r := out.Results[i]
 		doc.Annotations[i] = Annotation{Mention: m, Entity: r.Entity, Label: r.Label, Score: r.Score}

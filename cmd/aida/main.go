@@ -8,7 +8,9 @@
 //	aida -gen 2000 -batch -j 8 < corpus.txt
 //
 // With -kb a snapshot written by cmd/benchgen (or (*aida.KB).Save) is used;
-// with -gen a synthetic world of the given size is generated on the fly.
+// with -gen a synthetic world of the given size is generated on the fly;
+// with -shard-map fleet.json the KB is dialed from remote shard hosts
+// (aidaserver -shard-host processes) and nothing is loaded locally.
 // Mentions are recognized automatically unless -mentions supplies a
 // comma-separated list of surfaces.
 //
@@ -37,6 +39,7 @@ import (
 	"runtime/pprof"
 	"slices"
 	"strings"
+	"time"
 
 	"aida"
 	"aida/internal/wiki"
@@ -55,6 +58,8 @@ func main() {
 		inPath   = flag.String("in", "", "read input from this file instead of args/stdin")
 		workers  = flag.Int("j", 0, "annotation parallelism for -batch (0 = GOMAXPROCS)")
 		shards   = flag.Int("shards", 1, "split the KB into this many shards behind a router (output is byte-identical at any count)")
+		shardMap = flag.String("shard-map", "", "path to a shard-fleet topology file (JSON): annotate over remote shard hosts instead of a local KB; -kb/-gen are not required")
+		hedge    = flag.Duration("hedge-after", 50*time.Millisecond, "with -shard-map, race a fetch against the next replica after this latency (negative disables hedging)")
 		snapshot = flag.String("engine-snapshot", "", "engine snapshot path: loaded before annotating if present (warm start), rewritten after a successful run")
 		maxProf  = flag.Int64("engine-max-bytes", 0, "approximate interned-profile memory budget in bytes (0 = unbounded)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
@@ -68,11 +73,7 @@ func main() {
 	}
 	defer stopProfiles()
 
-	k, err := loadKB(*kbPath, *gen, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	store, err := shardStore(k, *shards)
+	store, err := openStore(*kbPath, *gen, *seed, *shards, *shardMap, *hedge)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -223,15 +224,28 @@ func loadKB(path string, gen int, seed int64) (*aida.KB, error) {
 	}
 }
 
-// shardStore wraps the KB in an n-shard router when -shards asks for one.
-func shardStore(k *aida.KB, n int) (aida.Store, error) {
+// openStore resolves the KB source: a remote shard fleet when -shard-map
+// is given, otherwise a locally loaded (and optionally router-sharded) KB.
+// Output is byte-identical across all of them.
+func openStore(kbPath string, gen int, seed int64, shards int, shardMap string, hedge time.Duration) (aida.Store, error) {
+	if shardMap != "" {
+		m, err := aida.LoadShardMap(shardMap)
+		if err != nil {
+			return nil, err
+		}
+		return aida.DialFleet(context.Background(), m, aida.RemoteOptions{HedgeAfter: hedge})
+	}
+	k, err := loadKB(kbPath, gen, seed)
+	if err != nil {
+		return nil, err
+	}
 	switch {
-	case n < 1:
-		return nil, fmt.Errorf("-shards must be ≥ 1 (got %d)", n)
-	case n == 1:
+	case shards < 1:
+		return nil, fmt.Errorf("-shards must be ≥ 1 (got %d)", shards)
+	case shards == 1:
 		return k, nil
 	default:
-		return aida.ShardKB(k, n), nil
+		return aida.ShardKB(k, shards), nil
 	}
 }
 

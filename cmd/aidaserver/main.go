@@ -7,6 +7,8 @@
 //
 //	aidaserver -kb kb.gob -addr :8080
 //	aidaserver -gen 2000 -seed 7 -addr localhost:8080
+//	aidaserver -kb kb.gob -shard-host 0/4 -addr :8081     # serve KB shard 0 of 4
+//	aidaserver -shard-map fleet.json -addr :8080          # annotate over a remote fleet
 //
 // Endpoints:
 //
@@ -22,6 +24,14 @@
 //	POST /v1/admin/snapshot  persist the warm scoring engine to the
 //	                         -engine-snapshot path (atomic write)
 //	GET  /healthz            liveness
+//	/v1/store/*              the remote KB read surface (-shard-host mode
+//	                         only): meta, entities, rows, names, idf
+//
+// With -shard-host "i/n" the process serves shard i of an n-wide KB fleet
+// to remote routers; with -shard-map fleet.json the process is such a
+// router, annotating over remote shard hosts instead of a locally loaded
+// KB (hedged fetches after -hedge-after, retry and replica failover on
+// error or fingerprint mismatch; output is byte-identical to a local KB).
 //
 // With -engine-snapshot the scoring engine is made durable: an existing
 // snapshot is loaded at boot (a warm start — the first request hits hot
@@ -77,6 +87,9 @@ func main() {
 		snapshot  = flag.String("engine-snapshot", "", "engine snapshot path: loaded at boot if present (warm start), written on graceful shutdown and POST /v1/admin/snapshot")
 		maxProf   = flag.Int64("engine-max-bytes", 0, "approximate interned-profile memory budget in bytes (0 = unbounded); over budget, cold profiles and their memoized pairs are evicted")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty = disabled")
+		shardHost = flag.String("shard-host", "", "serve shard i of an n-wide fleet as \"i/n\": mounts the KB read surface under /v1/store/ for remote routers")
+		shardMap  = flag.String("shard-map", "", "path to a shard-fleet topology file (JSON): the KB is dialed from remote shard hosts instead of loaded locally; -kb/-gen are not required")
+		hedge     = flag.Duration("hedge-after", 50*time.Millisecond, "with -shard-map, race a fetch against the next replica after this latency (negative disables hedging)")
 	)
 	flag.Parse()
 
@@ -86,23 +99,57 @@ func main() {
 	}
 	logger := slog.New(handler)
 
-	k, err := loadKB(*kbPath, *gen, *seed)
-	if err != nil {
-		logger.Error("load KB", "err", err)
-		os.Exit(1)
-	}
 	m, err := aida.MethodByName(*method)
 	if err != nil {
 		logger.Error("select method", "err", err)
 		os.Exit(1)
 	}
-	var store aida.Store = k
-	switch {
-	case *shards < 1:
-		logger.Error("invalid -shards", "shards", *shards)
-		os.Exit(1)
-	case *shards > 1:
-		store = aida.ShardKB(k, *shards)
+	var store aida.Store
+	var host *aida.StoreHost
+	if *shardMap != "" {
+		// Fleet-client mode: the KB lives on remote shard hosts; nothing is
+		// loaded locally (dictionary keys and IDF tables are mirrored at
+		// dial time, entities and candidate rows fetched on demand).
+		fleet, err := aida.LoadShardMap(*shardMap)
+		if err != nil {
+			logger.Error("load shard map", "err", err)
+			os.Exit(1)
+		}
+		remote, err := aida.DialFleet(context.Background(), fleet, aida.RemoteOptions{HedgeAfter: *hedge})
+		if err != nil {
+			logger.Error("dial shard fleet", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("dialed shard fleet", "shards", remote.NumShards(),
+			"fingerprint", fmt.Sprintf("%016x", remote.Fingerprint()))
+		store = remote
+	} else {
+		k, err := loadKB(*kbPath, *gen, *seed)
+		if err != nil {
+			logger.Error("load KB", "err", err)
+			os.Exit(1)
+		}
+		store = k
+		switch {
+		case *shards < 1:
+			logger.Error("invalid -shards", "shards", *shards)
+			os.Exit(1)
+		case *shards > 1:
+			store = aida.ShardKB(k, *shards)
+		}
+	}
+	if *shardHost != "" {
+		var shard, width int
+		if n, err := fmt.Sscanf(*shardHost, "%d/%d", &shard, &width); err != nil || n != 2 {
+			logger.Error("invalid -shard-host, want \"i/n\"", "value", *shardHost)
+			os.Exit(1)
+		}
+		host, err = aida.NewStoreHost(store, shard, width)
+		if err != nil {
+			logger.Error("shard host", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("hosting KB shard", "shard", shard, "shards", width, "names", host.NumNames())
 	}
 	sys := aida.New(store, aida.WithMethod(m), aida.WithMaxCandidates(*maxCand),
 		aida.WithMaxProfileBytes(*maxProf))
@@ -130,6 +177,7 @@ func main() {
 		DefaultParallelism: *defPar,
 		Logger:             logger,
 		EngineSnapshotPath: *snapshot,
+		ShardHost:          host,
 	})
 
 	if *pprofAddr != "" {
@@ -144,7 +192,7 @@ func main() {
 		logger.Error("listen", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
-	logger.Info("serving", "addr", l.Addr().String(), "entities", k.NumEntities(), "shards", store.NumShards(), "method", *method)
+	logger.Info("serving", "addr", l.Addr().String(), "entities", store.NumEntities(), "shards", store.NumShards(), "method", *method)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

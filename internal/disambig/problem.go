@@ -132,15 +132,24 @@ func NewProblemFromWords(k kb.Store, contextWords, surfaces []string, maxCandida
 		WordIDF:       k.WordIDF,
 		TotalEntities: k.NumEntities(),
 	}
-	lists := make([][]kb.Candidate, len(surfaces))
-	total := 0
-	for i, s := range surfaces {
-		cands := k.Candidates(s)
-		if maxCandidates > 0 && len(cands) > maxCandidates {
-			cands = cands[:maxCandidates]
+	var lists [][]kb.Candidate
+	if bs, ok := k.(kb.BulkCandidateStore); ok {
+		// Remote stores batch all dictionary rows (and the candidate
+		// entities fillCandidates will need) in one scatter-gather per
+		// shard; the lists are byte-identical to per-surface lookups.
+		lists = bs.CandidatesBulk(surfaces)
+	} else {
+		lists = make([][]kb.Candidate, len(surfaces))
+		for i, s := range surfaces {
+			lists[i] = k.Candidates(s)
 		}
-		lists[i] = cands
-		total += len(cands)
+	}
+	total := 0
+	for i := range lists {
+		if maxCandidates > 0 && len(lists[i]) > maxCandidates {
+			lists[i] = lists[i][:maxCandidates]
+		}
+		total += len(lists[i])
 	}
 	arena := make([]Candidate, total)
 	off := 0

@@ -1,0 +1,70 @@
+package kb
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseShardMap(t *testing.T) {
+	m, err := ParseShardMap([]byte(`{
+		"shards": [
+			{"primary": "http://kb0:8080", "replicas": ["https://kb0b:8443"]},
+			{"primary": "http://kb1:8080"}
+		]
+	}`))
+	if err != nil {
+		t.Fatalf("ParseShardMap: %v", err)
+	}
+	if m.NumShards() != 2 {
+		t.Fatalf("NumShards = %d, want 2", m.NumShards())
+	}
+	if got, want := m.Endpoints(0), []string{"http://kb0:8080", "https://kb0b:8443"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Endpoints(0) = %v, want %v", got, want)
+	}
+	if got, want := m.Endpoints(1), []string{"http://kb1:8080"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Endpoints(1) = %v, want %v", got, want)
+	}
+}
+
+func TestShardMapValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string // substring of the error
+	}{
+		{"not json", `{`, "parse shard map"},
+		{"empty", `{}`, "no shards"},
+		{"no primary", `{"shards":[{"replicas":["http://kb0:8080"]}]}`, "no primary"},
+		{"relative url", `{"shards":[{"primary":"kb0:8080"}]}`, "absolute http(s) URL"},
+		{"bad scheme", `{"shards":[{"primary":"ftp://kb0:8080"}]}`, "absolute http(s) URL"},
+		{"bad replica", `{"shards":[{"primary":"http://kb0:8080","replicas":["nope"]}]}`, "absolute http(s) URL"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseShardMap([]byte(tc.json))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ParseShardMap = %v, want an error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadShardMap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := os.WriteFile(path, []byte(`{"shards":[{"primary":"http://kb0:8080"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadShardMap(path)
+	if err != nil {
+		t.Fatalf("LoadShardMap: %v", err)
+	}
+	if m.NumShards() != 1 {
+		t.Fatalf("NumShards = %d, want 1", m.NumShards())
+	}
+	if _, err := LoadShardMap(filepath.Join(t.TempDir(), "missing.json")); err == nil || !strings.Contains(err.Error(), "read shard map") {
+		t.Fatalf("LoadShardMap(missing) = %v, want a read error", err)
+	}
+}

@@ -46,6 +46,18 @@ type Store interface {
 	Fingerprint() uint64
 }
 
+// BulkCandidateStore is an optional Store extension for stores where a
+// candidate lookup may cost a round trip (RemoteStore). CandidatesBulk
+// materializes the candidate lists of many surfaces at once — batched per
+// shard instead of one fetch per surface — and returns them positionally
+// aligned with the input. Each list is byte-identical to what
+// Candidates(surfaces[i]) returns (nil for out-of-dictionary surfaces),
+// and the same sharing rules apply: the slices must not be modified.
+type BulkCandidateStore interface {
+	Store
+	CandidatesBulk(surfaces []string) [][]Candidate
+}
+
 // Compile-time conformance of both implementations.
 var (
 	_ Store = (*KB)(nil)

@@ -1,0 +1,146 @@
+package kbtest
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aida/internal/kb"
+)
+
+// Faults configures the misbehavior a FaultStore injects into the shard
+// host serving it. The zero value injects nothing.
+type Faults struct {
+	// Latency delays every operation (the host blocks before serving, so
+	// hedged routers race a replica after their threshold).
+	Latency time.Duration
+	// Hang blocks every operation for the full duration — a stuck replica.
+	// Unlike Latency it is meant to exceed any reasonable hedge threshold.
+	Hang time.Duration
+	// FailNext makes the next N operations fail with a transient error.
+	FailNext int
+	// ErrorEvery makes every Nth operation fail with a transient error
+	// (0 disables).
+	ErrorEvery int
+	// StaleFingerprint makes the store report a perturbed content hash, as
+	// a replica restarted onto different KB content would: every response
+	// the host serves carries the wrong fingerprint header, which routers
+	// must treat as a replica failure.
+	StaleFingerprint bool
+}
+
+// errInjected is the transient error FaultStore injects.
+var errInjected = errors.New("kbtest: injected transient fault")
+
+// FaultStore wraps a kb.Store with configurable fault injection for
+// conformance tests of the remote-store failover machinery. It implements
+// the kb.HostFaulter hook a kb.StoreHost consults before serving each
+// operation, so a fleet of real HTTP shard hosts misbehaves on demand —
+// latency, hangs, transient errors, stale fingerprints — without a second
+// HTTP stack. Reconfigure live with Set; Ops and Injected count what the
+// host actually saw. All methods are safe for concurrent use.
+type FaultStore struct {
+	inner kb.Store
+	idf   kb.IDFTabler
+
+	mu sync.Mutex
+	f  Faults
+
+	ops      atomic.Int64
+	injected atomic.Int64
+}
+
+// NewFaultStore wraps a store (which must expose IDF tables, as both
+// in-process stores do) with no faults armed.
+func NewFaultStore(s kb.Store) *FaultStore {
+	idf, ok := s.(kb.IDFTabler)
+	if !ok {
+		panic("kbtest: FaultStore requires a store with IDF tables")
+	}
+	return &FaultStore{inner: s, idf: idf}
+}
+
+// Set replaces the armed faults (Faults{} disarms everything).
+func (s *FaultStore) Set(f Faults) {
+	s.mu.Lock()
+	s.f = f
+	s.mu.Unlock()
+}
+
+// Ops reports how many store operations reached this replica.
+func (s *FaultStore) Ops() int64 { return s.ops.Load() }
+
+// Injected reports how many operations failed with an injected error.
+func (s *FaultStore) Injected() int64 { return s.injected.Load() }
+
+// HostFault implements kb.HostFaulter: it delays and/or fails the
+// operation according to the armed faults.
+func (s *FaultStore) HostFault(ctx context.Context, op string) error {
+	n := s.ops.Add(1)
+	s.mu.Lock()
+	f := s.f
+	if f.FailNext > 0 {
+		s.f.FailNext--
+	}
+	s.mu.Unlock()
+	for _, d := range []time.Duration{f.Latency, f.Hang} {
+		if d <= 0 {
+			continue
+		}
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if f.FailNext > 0 || (f.ErrorEvery > 0 && n%int64(f.ErrorEvery) == 0) {
+		s.injected.Add(1)
+		return errInjected
+	}
+	return nil
+}
+
+// Fingerprint reports the wrapped store's content hash, perturbed while
+// StaleFingerprint is armed (the host stamps it on every response, so
+// routers see the staleness immediately).
+func (s *FaultStore) Fingerprint() uint64 {
+	fp := s.inner.Fingerprint()
+	s.mu.Lock()
+	stale := s.f.StaleFingerprint
+	s.mu.Unlock()
+	if stale {
+		fp ^= 0xdeadbeefdeadbeef
+	}
+	return fp
+}
+
+// IDFTables implements kb.IDFTabler by delegation (interface embedding
+// would not expose the extension).
+func (s *FaultStore) IDFTables() (phrase, word map[string]float64) { return s.idf.IDFTables() }
+
+// The rest of the kb.Store read surface delegates untouched: FaultStore
+// never corrupts data, it only delays or refuses to serve it.
+
+func (s *FaultStore) NumEntities() int                          { return s.inner.NumEntities() }
+func (s *FaultStore) Entity(id kb.EntityID) *kb.Entity          { return s.inner.Entity(id) }
+func (s *FaultStore) EntityByName(n string) (kb.EntityID, bool) { return s.inner.EntityByName(n) }
+func (s *FaultStore) HasName(n string) bool                     { return s.inner.HasName(n) }
+func (s *FaultStore) Candidates(n string) []kb.Candidate        { return s.inner.Candidates(n) }
+func (s *FaultStore) Prior(n string, e kb.EntityID) float64     { return s.inner.Prior(n, e) }
+func (s *FaultStore) Names() []string                           { return s.inner.Names() }
+func (s *FaultStore) PhraseIDF(p string) float64                { return s.inner.PhraseIDF(p) }
+func (s *FaultStore) WordIDF(w string) float64                  { return s.inner.WordIDF(w) }
+func (s *FaultStore) KeywordWeight(e kb.EntityID, w string) float64 {
+	return s.inner.KeywordWeight(e, w)
+}
+func (s *FaultStore) NumShards() int { return s.inner.NumShards() }
+
+// Compile-time conformance: a FaultStore can stand in for any Store and be
+// served by a StoreHost with fault hooks attached.
+var (
+	_ kb.Store       = (*FaultStore)(nil)
+	_ kb.IDFTabler   = (*FaultStore)(nil)
+	_ kb.HostFaulter = (*FaultStore)(nil)
+)

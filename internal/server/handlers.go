@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"aida"
+	"aida/internal/kb"
 	"aida/internal/pool"
 )
 
@@ -319,12 +320,34 @@ type kbStats struct {
 	// Shards is the knowledge base's shard count: 1 for a single KB,
 	// N for a ShardedKB router (the -shards flag of cmd/aidaserver).
 	Shards int `json:"shards"`
+	// RemoteShards is the width of the remote shard fleet behind this
+	// server (the -shard-map flag of cmd/aidaserver); 0 when the KB is
+	// hosted in-process.
+	RemoteShards int `json:"remote_shards"`
+	// RemoteRequests/Hedges/Retries/Failovers are the remote store's fetch
+	// counters: logical store operations sent to the fleet, speculative
+	// duplicates launched past the hedge threshold, error-triggered
+	// re-attempts, and operations served by a non-primary endpoint after
+	// the primary failed. All 0 when the KB is hosted in-process.
+	RemoteRequests  int64 `json:"remote_requests"`
+	RemoteHedges    int64 `json:"remote_hedges"`
+	RemoteRetries   int64 `json:"remote_retries"`
+	RemoteFailovers int64 `json:"remote_failovers"`
 }
 
 func (s *Server) statsSnapshot() statsResponse {
 	byEndpoint := make(map[string]int64, len(endpoints))
 	for _, e := range endpoints {
 		byEndpoint[e] = s.byEndpoint[e].Load()
+	}
+	kbs := kbStats{Entities: s.sys.KB.NumEntities(), Shards: s.sys.KB.NumShards()}
+	if r, ok := s.sys.KB.(*kb.RemoteStore); ok {
+		rs := r.Stats()
+		kbs.RemoteShards = rs.Shards
+		kbs.RemoteRequests = rs.Requests
+		kbs.RemoteHedges = rs.Hedges
+		kbs.RemoteRetries = rs.Retries
+		kbs.RemoteFailovers = rs.Failovers
 	}
 	return statsResponse{
 		Server: serverStats{
@@ -335,7 +358,7 @@ func (s *Server) statsSnapshot() statsResponse {
 			RequestsByEndpoint: byEndpoint,
 		},
 		Engine: s.sys.Scorer().Stats(),
-		KB:     kbStats{Entities: s.sys.KB.NumEntities(), Shards: s.sys.KB.NumShards()},
+		KB:     kbs,
 	}
 }
 

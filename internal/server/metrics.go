@@ -30,6 +30,16 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 		"Entities in the loaded knowledge base.", float64(st.KB.Entities))
 	writeMetric(w, "aida_kb_shards", "gauge",
 		"Shards backing the knowledge base (1 = unsharded).", float64(st.KB.Shards))
+	writeMetric(w, "aida_kb_remote_shards", "gauge",
+		"Width of the remote shard fleet behind this server (0 = KB hosted in-process).", float64(st.KB.RemoteShards))
+	writeMetric(w, "aida_kb_remote_requests_total", "counter",
+		"Logical KB store operations sent to the remote shard fleet.", float64(st.KB.RemoteRequests))
+	writeMetric(w, "aida_kb_remote_hedges_total", "counter",
+		"Speculative duplicate fetches launched past the hedge latency threshold.", float64(st.KB.RemoteHedges))
+	writeMetric(w, "aida_kb_remote_retries_total", "counter",
+		"Remote fetch attempts relaunched on another replica after an error or fingerprint mismatch.", float64(st.KB.RemoteRetries))
+	writeMetric(w, "aida_kb_remote_failovers_total", "counter",
+		"Remote operations ultimately served by a non-primary replica after the primary failed.", float64(st.KB.RemoteFailovers))
 	writeMetric(w, "aida_engine_profiles", "gauge",
 		"Entity keyphrase profiles interned by the scoring engine.", float64(st.Engine.Profiles))
 	writeMetric(w, "aida_engine_profile_bytes", "gauge",

@@ -26,7 +26,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"strings"
+
 	"aida"
+	"aida/internal/kb"
 )
 
 // Config bounds and wires a Server. The zero value is usable: every field
@@ -51,6 +54,11 @@ type Config struct {
 	// scoring engine (the -engine-snapshot flag of cmd/aidaserver). Empty
 	// disables the endpoint (it answers 409).
 	EngineSnapshotPath string
+	// ShardHost, when set, mounts the remote KB read surface under
+	// /v1/store/ (the -shard-host flag of cmd/aidaserver): this process
+	// serves its shard of the KB to remote routers alongside — or instead
+	// of — annotation traffic.
+	ShardHost *kb.StoreHost
 }
 
 func (c Config) withDefaults() Config {
@@ -72,13 +80,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// endpoints are the routed paths, in the order counters are reported.
+// endpoints are the routed paths, in the order counters are reported. The
+// store endpoints (shard-host mode) are counted together under their
+// prefix — they are one logical surface with per-operation subpaths.
 var endpoints = []string{
 	"/v1/annotate",
 	"/v1/annotate/batch",
 	"/v1/relatedness",
 	"/v1/stats",
 	"/v1/admin/snapshot",
+	"/v1/store",
 	"/healthz",
 }
 
@@ -140,6 +151,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/admin/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.ShardHost != nil {
+		mux.Handle(kb.StorePathPrefix+"/", s.cfg.ShardHost.Handler())
+	}
 	return s.logged(mux)
 }
 
@@ -178,7 +192,11 @@ func (s *Server) Serve(ctx context.Context, l net.Listener, drain time.Duration)
 func (s *Server) logged(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
-		if c := s.byEndpoint[r.URL.Path]; c != nil {
+		path := r.URL.Path
+		if strings.HasPrefix(path, kb.StorePathPrefix+"/") {
+			path = kb.StorePathPrefix
+		}
+		if c := s.byEndpoint[path]; c != nil {
 			c.Add(1)
 		}
 		lw := &loggingWriter{ResponseWriter: w, status: http.StatusOK}

@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"slices"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"aida/internal/disambig"
 	"aida/internal/emerge"
@@ -55,6 +57,21 @@ type (
 	// StoreHost serves one shard of a Store's read surface over HTTP so
 	// remote routers can dial it; build one with NewStoreHost.
 	StoreHost = kb.StoreHost
+	// Delta is one batch of live knowledge-base additions (new entities,
+	// dictionary rows, link edges, IDF extensions) a serving System
+	// installs without restart via ApplyDelta. See kb.Delta for the wire
+	// form and validation rules.
+	Delta = kb.Delta
+	// DeltaEntity is one entity added by a Delta, with precomputed
+	// feature weights.
+	DeltaEntity = kb.NewEntity
+	// DeltaRow is one dictionary-row count addition of a Delta.
+	DeltaRow = kb.RowAddition
+	// DeltaLink is one directed link edge of a Delta.
+	DeltaLink = kb.LinkAddition
+	// Overlay is a copy-on-write Store: a base Store plus one applied
+	// Delta; build one with NewOverlay, or let ApplyDelta do it.
+	Overlay = kb.Overlay
 	// KBBuilder assembles a KB.
 	KBBuilder = kb.Builder
 	// EntityID identifies a KB entity; NoEntity marks out-of-KB.
@@ -138,6 +155,17 @@ func ParseRelatednessKind(name string) (RelatednessKind, error) {
 
 // NewKBBuilder returns an empty knowledge-base builder.
 func NewKBBuilder() *KBBuilder { return kb.NewBuilder() }
+
+// NewOverlay validates a delta against a base store and returns the
+// copy-on-write merged view (see kb.NewOverlay). Most callers want
+// (*System).ApplyDelta, which also swaps the serving generation and
+// invalidates the scoring engine.
+func NewOverlay(base Store, d *Delta) (*Overlay, error) { return kb.NewOverlay(base, d) }
+
+// RebuildKB returns a fresh KB with a delta's facts baked in, as if built
+// that way from the start — the conformance baseline an Overlay is
+// byte-identical to, and the compaction path for long overlay chains.
+func RebuildKB(k *KB, d *Delta) (*KB, error) { return kb.Rebuild(k, d) }
 
 // LoadKB reads a KB snapshot written with (*KB).Save.
 func LoadKB(r io.Reader) (*KB, error) { return kb.Load(r) }
@@ -244,9 +272,20 @@ type Annotation struct {
 }
 
 // System bundles the full pipeline: recognition, candidate generation and
-// disambiguation against one knowledge base store (a single KB or a
-// sharded router — the annotations are byte-identical either way).
+// disambiguation against one knowledge base store (a single KB, a sharded
+// router or a remote fleet — the annotations are byte-identical either
+// way).
+//
+// A System serves one KB *generation* at a time. ApplyDelta installs a new
+// generation (a copy-on-write overlay plus a warm-cloned scoring engine)
+// with one atomic swap; every annotation request reads the generation
+// pointer exactly once, so a document is always scored against one
+// consistent (store, engine) pair even while an apply races it.
 type System struct {
+	// KB is the store the System was constructed over — generation 0.
+	// After ApplyDelta it is NOT the serving store; use Store() for the
+	// live generation. The field stays for construction-time identity
+	// (e.g. recognizing a remote fleet client) and compatibility.
 	KB     Store
 	Method Method
 	// MaxCandidates caps candidates per mention (0 = no cap).
@@ -255,7 +294,117 @@ type System struct {
 	ExpandSurfaces bool
 
 	recognizer ner.Recognizer
-	engine     *relatedness.Scorer
+
+	// live is the serving generation; swapped atomically by ApplyDelta,
+	// loaded once per request. applyMu serializes appliers.
+	live    atomic.Pointer[liveKB]
+	applyMu sync.Mutex
+}
+
+// liveKB is one immutable serving generation: the store, the engine bound
+// to it, and the update counters as of its installation.
+type liveKB struct {
+	store  kb.Store
+	engine *relatedness.Scorer
+	stats  KBLiveStats
+}
+
+// KBLiveStats are a System's live-update counters: the current KB
+// generation (0 = as constructed, +1 per applied delta) and what the
+// applied deltas added in total.
+type KBLiveStats struct {
+	Generation    uint64 `json:"generation"`
+	DeltaApplies  uint64 `json:"delta_applies"`
+	DeltaEntities uint64 `json:"delta_entities"`
+	DeltaRows     uint64 `json:"delta_rows"`
+}
+
+// LiveKB is a consistent snapshot of a System's serving generation: the
+// store and the scoring engine belong together (the engine is bound to
+// exactly that store). Callers that need both — e.g. to run an emerge
+// pipeline against the serving KB — must take one snapshot rather than
+// calling Store() and Scorer() separately, which could straddle an apply.
+type LiveKB struct {
+	Store  Store
+	Engine *Scorer
+	Stats  KBLiveStats
+}
+
+// Live returns the serving generation snapshot. The returned pair stays
+// valid (and internally consistent) even after later ApplyDelta calls;
+// it just describes an older generation then.
+func (s *System) Live() LiveKB {
+	lv := s.live.Load()
+	return LiveKB{Store: lv.store, Engine: lv.engine, Stats: lv.stats}
+}
+
+// Store returns the serving knowledge-base store: the construction store
+// at generation 0, the newest overlay after ApplyDelta calls.
+func (s *System) Store() Store { return s.live.Load().store }
+
+// Generation returns the serving KB generation (0 = as constructed,
+// incremented by every ApplyDelta).
+func (s *System) Generation() uint64 { return s.live.Load().stats.Generation }
+
+// LiveStats returns the live-update counters of the serving generation.
+func (s *System) LiveStats() KBLiveStats { return s.live.Load().stats }
+
+// DeltaReceipt reports what one ApplyDelta installed.
+type DeltaReceipt struct {
+	// Generation is the serving generation after the apply.
+	Generation uint64
+	// Entities, Rows and Links count the delta's additions; Touched is
+	// how many pre-existing entities had their link sets changed (the
+	// engine-invalidation set).
+	Entities int
+	Rows     int
+	Links    int
+	Touched  int
+	// KBEntities is the repository size after the apply.
+	KBEntities int
+}
+
+// ApplyDelta installs a batch of KB additions into the serving System
+// without restart: the delta is validated against the live store, merged
+// into a copy-on-write Overlay, the scoring engine is warm-cloned with
+// every value the update invalidates dropped (profiles and memoized pairs
+// of link-touched entities; all MW values when the entity count changed —
+// see relatedness.CloneFor), and the new (store, engine) generation is
+// swapped in atomically. In-flight documents finish on the generation they
+// started with; the next request sees the new one — a graduated entity is
+// linkable by name immediately.
+//
+// The overlay's fingerprint differs from the old generation's whenever the
+// delta changes logical content, so derived state bound to the old
+// generation (engine snapshots, fleet fingerprint checks) fails safely
+// rather than mixing generations.
+//
+// Appliers are serialized; a delta validated against a generation that is
+// no longer serving (its BaseEntities mismatches) is rejected with an
+// error and changes nothing.
+func (s *System) ApplyDelta(d *kb.Delta) (DeltaReceipt, error) {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	cur := s.live.Load()
+	ov, err := kb.NewOverlay(cur.store, d)
+	if err != nil {
+		return DeltaReceipt{}, err
+	}
+	engine := cur.engine.CloneFor(ov, ov.Touched(), ov.Added() > 0)
+	st := cur.stats
+	st.Generation++
+	st.DeltaApplies++
+	st.DeltaEntities += uint64(ov.Added())
+	st.DeltaRows += uint64(len(d.Rows))
+	s.live.Store(&liveKB{store: ov, engine: engine, stats: st})
+	return DeltaReceipt{
+		Generation: st.Generation,
+		Entities:   ov.Added(),
+		Rows:       len(d.Rows),
+		Links:      len(d.Links),
+		Touched:    len(ov.Touched()),
+		KBEntities: ov.NumEntities(),
+	}, nil
 }
 
 // Option configures a System.
@@ -279,30 +428,33 @@ func WithSurfaceExpansion() Option { return func(s *System) { s.ExpandSurfaces =
 // state is recomputed on demand — only the engine's work counters do. See
 // ScorerStats.Evictions.
 func WithMaxProfileBytes(n int64) Option {
-	return func(s *System) { s.engine.SetMaxProfileBytes(n) }
+	return func(s *System) { s.Scorer().SetMaxProfileBytes(n) }
 }
 
 // New creates a System over the knowledge base store.
 func New(k Store, opts ...Option) *System {
-	s := &System{KB: k, Method: disambig.NewAIDA(), engine: relatedness.NewScorer(k)}
+	s := &System{KB: k, Method: disambig.NewAIDA()}
 	s.recognizer.Lexicon = k
+	s.live.Store(&liveKB{store: k, engine: relatedness.NewScorer(k)})
 	for _, o := range opts {
 		o(s)
 	}
 	return s
 }
 
-// Scorer returns the system's shared scoring engine. It accumulates
+// Scorer returns the serving generation's scoring engine. It accumulates
 // interned profiles and memoized pair scores across every document the
-// system annotates; all its methods are safe for concurrent use.
-func (s *System) Scorer() *Scorer { return s.engine }
+// system annotates; all its methods are safe for concurrent use. After
+// ApplyDelta this returns the new generation's engine — callers that need
+// the engine together with its store should take one Live() snapshot.
+func (s *System) Scorer() *Scorer { return s.live.Load().engine }
 
 // SaveEngine writes the scoring engine's accumulated state — interned
 // profiles and memoized pair values — as a versioned snapshot bound to the
 // KB's content fingerprint. A fresh process over the same KB can LoadEngine
 // it and serve its first request with a warm engine. Safe to call
 // concurrently with annotation traffic.
-func (s *System) SaveEngine(w io.Writer) error { return s.engine.Save(w) }
+func (s *System) SaveEngine(w io.Writer) error { return s.Scorer().Save(w) }
 
 // SaveEngineFile writes the engine snapshot to path atomically: a temp
 // file in the target's directory is written first and renamed over it, so
@@ -344,22 +496,27 @@ func (s *System) SaveEngineFile(path string) (int64, error) {
 // KB — leave the engine untouched and usable cold. Annotations after a
 // warm start are byte-identical to a cold engine's (the golden-corpus
 // suite pins this); only the cache hit/miss counters differ.
-func (s *System) LoadEngine(r io.Reader) error { return s.engine.Restore(r) }
+func (s *System) LoadEngine(r io.Reader) error { return s.Scorer().Restore(r) }
 
-// Recognize runs named entity recognition only.
+// Recognize runs named entity recognition only, over the serving
+// generation's dictionary.
 func (s *System) Recognize(text string) []MentionSpan {
-	return s.recognizer.Recognize(text)
+	rec := s.recognizer
+	rec.Lexicon = s.live.Load().store
+	return rec.Recognize(text)
 }
 
 // NewProblem builds a disambiguation problem for pre-recognized mention
-// surfaces. The problem shares the system's scoring engine, so coherence
-// values for KB-entity pairs are memoized across documents.
+// surfaces against the serving KB generation. The problem shares that
+// generation's scoring engine, so coherence values for KB-entity pairs are
+// memoized across documents.
 func (s *System) NewProblem(text string, surfaces []string) *Problem {
+	lv := s.live.Load()
 	if s.ExpandSurfaces {
-		surfaces = disambig.ExpandSurfaces(s.KB, surfaces)
+		surfaces = disambig.ExpandSurfaces(lv.store, surfaces)
 	}
-	p := disambig.NewProblem(s.KB, text, surfaces, s.MaxCandidates)
-	p.Scorer = s.engine
+	p := disambig.NewProblem(lv.store, text, surfaces, s.MaxCandidates)
+	p.Scorer = lv.engine
 	return p
 }
 
@@ -372,7 +529,7 @@ func (s *System) Disambiguate(text string, surfaces []string) *Output {
 // the given measure, memoized by the system's shared engine (profiles and
 // LSH filters are built once per KB, not per call).
 func (s *System) Relatedness(kind RelatednessKind, a, b EntityID) float64 {
-	return s.engine.Relatedness(kind, a, b)
+	return s.Scorer().Relatedness(kind, a, b)
 }
 
 // Confidence estimates per-mention disambiguation confidence with the CONF
@@ -387,12 +544,13 @@ func (s *System) Confidence(p *Problem, out *Output, iterations int, seed int64)
 // Algorithm 3 decides between KB entities and emerging ones. For the full
 // workflow (enrichment, windowed chunks) use an EEPipeline directly.
 func (s *System) DiscoverEmerging(text string, surfaces []string, corpus []string) *emerge.Discovery {
+	lv := s.live.Load()
 	pl := &emerge.Pipeline{
-		KB:            s.KB,
+		KB:            lv.store,
 		Method:        s.Method,
 		MaxCandidates: s.MaxCandidates,
 		Parallelism:   runtime.GOMAXPROCS(0),
-		Scorer:        s.engine,
+		Scorer:        lv.engine,
 	}
 	chunk := make([]emerge.ChunkDoc, len(corpus))
 	for i, c := range corpus {

@@ -189,20 +189,27 @@ func (s *System) annotateOne(ctx context.Context, text string, o annotateOptions
 			doc, err = nil, re
 		}
 	}()
+	// Load the serving KB generation exactly once: recognition, candidate
+	// materialization and scoring below all run against this one (store,
+	// engine) pair, so a concurrent ApplyDelta can never hand this document
+	// a torn read — it finishes on the generation it started with.
+	lv := s.live.Load()
 	// Tokenize once: recognition and context-word extraction share the
 	// same token stream (the context words of a document are a pure
 	// function of its tokens, so the annotations are unchanged).
 	tokens := tokenizer.Tokenize(text)
-	mentions := s.recognizer.RecognizeTokens(text, tokens)
+	rec := s.recognizer
+	rec.Lexicon = lv.store
+	mentions := rec.RecognizeTokens(text, tokens)
 	surfaces := make([]string, len(mentions))
 	for i, m := range mentions {
 		surfaces[i] = m.Text
 	}
 	if o.expand {
-		surfaces = disambig.ExpandSurfaces(s.KB, surfaces)
+		surfaces = disambig.ExpandSurfaces(lv.store, surfaces)
 	}
-	p := disambig.NewProblemFromWords(s.KB, tokenizer.ContentWordsFromTokens(tokens), surfaces, o.maxCands)
-	p.Scorer = s.engine
+	p := disambig.NewProblemFromWords(lv.store, tokenizer.ContentWordsFromTokens(tokens), surfaces, o.maxCands)
+	p.Scorer = lv.engine
 	p.CoherenceWorkers = coherenceWorkers
 	p.Context = ctx
 	out := o.method.Disambiguate(p)

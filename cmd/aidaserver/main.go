@@ -23,7 +23,10 @@
 //	                         for the Prometheus text exposition
 //	POST /v1/admin/snapshot  persist the warm scoring engine to the
 //	                         -engine-snapshot path (atomic write)
-//	GET  /healthz            liveness
+//	POST /v1/admin/kb/delta  apply a live KB delta (new entities, rows,
+//	                         links) without restart; journaled when
+//	                         -delta-journal is set
+//	GET  /healthz            liveness (reports the serving KB generation)
 //	/v1/store/*              the remote KB read surface (-shard-host mode
 //	                         only): meta, entities, rows, names, idf
 //
@@ -37,9 +40,20 @@
 // snapshot is loaded at boot (a warm start — the first request hits hot
 // caches; a stale or corrupt snapshot is rejected with a log line and the
 // process starts cold), and the warm engine is written back after a
-// graceful drain. -engine-max-bytes bounds the engine's interned-profile
-// memory; over budget, cold profiles are evicted together with their
-// memoized pair values, without ever changing annotation output.
+// graceful drain (and every -snapshot-every interval, when set).
+// -engine-max-bytes bounds the engine's interned-profile memory; over
+// budget, cold profiles are evicted together with their memoized pair
+// values, without ever changing annotation output.
+//
+// The KB itself is live: deltas POSTed to /v1/admin/kb/delta swap in a new
+// copy-on-write generation atomically — in-flight documents finish on the
+// generation they started with, the next request links the new entities.
+// -delta-journal makes applies durable (replayed at boot; a torn tail
+// frame from a crash is truncated with a warning). -graduate <interval>
+// closes the emerging-entity loop: annotated documents with out-of-KB
+// mentions are buffered, periodically re-run through emerging-entity
+// discovery, and confidently repeated discoveries graduate into the KB
+// automatically.
 //
 // Every endpoint honors request-context cancellation: when a client
 // disconnects, in-flight scoring is aborted, the request is logged with
@@ -65,6 +79,7 @@ import (
 	"time"
 
 	"aida"
+	"aida/internal/kb/live"
 	"aida/internal/server"
 	"aida/internal/wiki"
 )
@@ -90,6 +105,9 @@ func main() {
 		shardHost = flag.String("shard-host", "", "serve shard i of an n-wide fleet as \"i/n\": mounts the KB read surface under /v1/store/ for remote routers")
 		shardMap  = flag.String("shard-map", "", "path to a shard-fleet topology file (JSON): the KB is dialed from remote shard hosts instead of loaded locally; -kb/-gen are not required")
 		hedge     = flag.Duration("hedge-after", 50*time.Millisecond, "with -shard-map, race a fetch against the next replica after this latency (negative disables hedging)")
+		journal   = flag.String("delta-journal", "", "append-only journal of applied KB deltas: replayed at boot, appended on every apply (live updates survive restarts)")
+		graduate  = flag.Duration("graduate", 0, "run the emerging-entity graduation loop at this interval (0 = disabled): documents with out-of-KB mentions feed discovery, repeated confident discoveries join the KB live")
+		snapEvery = flag.Duration("snapshot-every", 0, "with -engine-snapshot, additionally persist the warm engine at this interval (0 = only on shutdown and POST /v1/admin/snapshot)")
 	)
 	flag.Parse()
 
@@ -170,7 +188,39 @@ func main() {
 			logger.Warn("engine snapshot unreadable, starting cold", "path", *snapshot, "err", err)
 		}
 	}
-	srv := server.New(sys, server.Config{
+
+	var deltaJournal *live.Journal
+	if *journal != "" {
+		// Replay first: every delta applied in previous lives is reinstalled
+		// before traffic starts, so graduated entities survive restarts. A
+		// delta that no longer validates (e.g. written out of order by racing
+		// appliers) is skipped with a warning rather than blocking boot.
+		applied, truncated, err := live.ReplayJournal(*journal, func(d *aida.Delta) error {
+			if _, aerr := sys.ApplyDelta(d); aerr != nil {
+				logger.Warn("journaled delta skipped", "err", aerr)
+			}
+			return nil
+		})
+		if err != nil {
+			logger.Error("replay delta journal", "path", *journal, "err", err)
+			os.Exit(1)
+		}
+		if truncated {
+			logger.Warn("delta journal had a torn tail frame (crash mid-append); truncated", "path", *journal)
+		}
+		if applied > 0 {
+			logger.Info("delta journal replayed", "path", *journal, "deltas", applied,
+				"generation", sys.Generation(), "entities", sys.Store().NumEntities())
+		}
+		deltaJournal, err = live.OpenJournal(*journal)
+		if err != nil {
+			logger.Error("open delta journal", "path", *journal, "err", err)
+			os.Exit(1)
+		}
+		defer deltaJournal.Close()
+	}
+
+	cfg := server.Config{
 		MaxBodyBytes:       *maxBody,
 		MaxBatchDocs:       *maxBatch,
 		MaxParallelism:     *maxPar,
@@ -178,7 +228,19 @@ func main() {
 		Logger:             logger,
 		EngineSnapshotPath: *snapshot,
 		ShardHost:          host,
-	})
+		DeltaJournal:       deltaJournal,
+	}
+	var loop *live.Loop
+	if *graduate > 0 {
+		loop = &live.Loop{
+			System:        sys,
+			Journal:       deltaJournal,
+			MaxCandidates: *maxCand,
+			Logger:        slog.NewLogLogger(logger.Handler(), slog.LevelInfo),
+		}
+		cfg.OnDocument = loop.Note
+	}
+	srv := server.New(sys, cfg)
 
 	if *pprofAddr != "" {
 		if err := servePprof(*pprofAddr, logger); err != nil {
@@ -196,6 +258,13 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if loop != nil {
+		logger.Info("graduation loop running", "every", *graduate)
+		go loop.Run(ctx, *graduate)
+	}
+	if *snapEvery > 0 {
+		go srv.SnapshotEvery(ctx, *snapEvery)
+	}
 	if err := srv.Serve(ctx, l, *drain); err != nil {
 		logger.Error("serve", "err", err)
 		os.Exit(1)

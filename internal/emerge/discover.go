@@ -26,6 +26,12 @@ type Discovery struct {
 	// Emerging[i] reports whether mention i was mapped to an emerging
 	// entity (either its EE placeholder won, or it had no candidates).
 	Emerging []bool
+	// Models are the placeholder candidates the discovery ran with, by
+	// mention surface (the eeModels argument of Discover). Surfaces
+	// without global evidence have no entry. Downstream consumers — the
+	// live-KB graduation loop — read the harvested keyphrase features of
+	// an emerging mention from here.
+	Models map[string]disambig.Candidate
 }
 
 // IsEE reports whether a result row denotes an emerging entity: no KB
@@ -104,5 +110,5 @@ func (d *Discoverer) Discover(p *disambig.Problem, eeModels map[string]disambig.
 		}
 		final.Results[i] = r
 	}
-	return &Discovery{Output: final, Emerging: emerging}
+	return &Discovery{Output: final, Emerging: emerging, Models: eeModels}
 }

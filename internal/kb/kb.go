@@ -28,11 +28,13 @@ type EntityID int32
 const NoEntity EntityID = -1
 
 // Keyphrase is a salient phrase describing an entity, with its weights.
+// The JSON tags define its wire form inside a Delta (the live-update
+// endpoint); the in-process pipeline never serializes it as JSON.
 type Keyphrase struct {
-	Phrase string   // surface form, e.g. "English rock guitarist"
-	Words  []string // lower-cased content words of the phrase
-	MI     float64  // µ weight of the phrase w.r.t. the entity (Eq. 4.1)
-	IDF    float64  // global phrase IDF (Eq. 3.5)
+	Phrase string   `json:"phrase"`          // surface form, e.g. "English rock guitarist"
+	Words  []string `json:"words,omitempty"` // lower-cased content words of the phrase
+	MI     float64  `json:"mi"`              // µ weight of the phrase w.r.t. the entity (Eq. 4.1)
+	IDF    float64  `json:"idf"`             // global phrase IDF (Eq. 3.5)
 }
 
 // Entity is one canonical entity of the repository.

@@ -2,13 +2,30 @@ package kb
 
 // Store is the read interface of the knowledge base: everything the
 // annotation pipeline (recognition, candidate materialization, scoring,
-// harvesting, serving) needs from the KB substrate. Both the single-process
-// *KB and the ShardedKB router satisfy it, and every implementation must
+// harvesting, serving) needs from the KB substrate. The single-process
+// *KB, the ShardedKB router, the RemoteStore fleet client and the
+// copy-on-write Overlay all satisfy it, and every implementation must
 // return byte-identical results for the same underlying repository — the
 // golden-corpus conformance suite in internal/kbtest pins this.
 //
-// All methods must be safe for concurrent use (implementations are
-// immutable after construction).
+// All methods must be safe for concurrent use. Every implementation is
+// immutable after construction; live KB updates never mutate a Store in
+// place. Instead, each update produces a NEW Store (an Overlay over the
+// old one, or a Rebuild) and the serving layer swaps the generations
+// atomically (see aida.System.ApplyDelta). Consequences of that contract:
+//
+//   - Slices returned by Names(), Candidates() and Entity() stay valid and
+//     constant forever — but they describe the generation they were read
+//     from. State derived from a Store at construction time (a StoreHost's
+//     name mirror, a RemoteStore's dialed dictionary, nec.Train statistics,
+//     an engine's profiles and LSH filters) is bound to that generation and
+//     must be rebuilt — or swapped alongside — when a new generation is
+//     installed; it must never be cached across an apply and replayed
+//     against the new store.
+//   - Fingerprint() identifies the generation's content: applying a delta
+//     that changes logical content yields a different fingerprint, so
+//     generation mismatches (a stale engine snapshot, a fleet host serving
+//     older content) fail closed instead of silently mixing generations.
 type Store interface {
 	// NumEntities returns |E|. Entity ids are dense in [0, NumEntities()),
 	// so iterating ids covers the whole repository on any implementation.
@@ -58,7 +75,8 @@ type BulkCandidateStore interface {
 	CandidatesBulk(surfaces []string) [][]Candidate
 }
 
-// Compile-time conformance of both implementations.
+// Compile-time conformance of the in-process implementations (Overlay and
+// RemoteStore declare theirs next to their definitions).
 var (
 	_ Store = (*KB)(nil)
 	_ Store = (*ShardedKB)(nil)

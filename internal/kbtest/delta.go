@@ -1,0 +1,80 @@
+package kbtest
+
+import (
+	"maps"
+	"slices"
+
+	"aida/internal/kb"
+)
+
+// GoldenDeltaEntityA and GoldenDeltaEntityB are the canonical names of the
+// two entities GoldenDelta adds. They are guaranteed absent from the
+// golden world, so tests can assert they become linkable after an apply.
+const (
+	GoldenDeltaEntityA = "Zorvex Dynamics"
+	GoldenDeltaEntityB = "Quellon Harbor"
+)
+
+// GoldenDelta returns the deterministic live-update delta of the
+// conformance suite: two new entities (their keyphrase features derived
+// from existing golden entities, so all vocabulary already carries base
+// IDF weights), link edges in both directions between new and existing
+// entities, new dictionary rows for the new names, and a count addition
+// that re-weights the golden world's first ambiguous surface — the update
+// therefore changes served priors, not just unseen names.
+//
+// The delta is a pure function of the golden KB; every call returns an
+// equal value.
+func GoldenDelta() *kb.Delta {
+	k := GoldenKB()
+	derive := func(name string, src kb.EntityID) kb.NewEntity {
+		e := k.Entity(src)
+		ne := kb.NewEntity{Name: name, Domain: "emerging", Types: []string{"emerging"}}
+		n := min(len(e.Keyphrases), 4)
+		ne.Keyphrases = slices.Clone(e.Keyphrases[:n])
+		keys := slices.Sorted(maps.Keys(e.KeywordNPMI))
+		if len(keys) > 6 {
+			keys = keys[:6]
+		}
+		ne.KeywordNPMI = make(map[string]float64, len(keys))
+		for _, w := range keys {
+			ne.KeywordNPMI[w] = e.KeywordNPMI[w]
+		}
+		return ne
+	}
+	base := kb.EntityID(k.NumEntities())
+	d := &kb.Delta{
+		BaseEntities: k.NumEntities(),
+		Entities: []kb.NewEntity{
+			derive(GoldenDeltaEntityA, 5),
+			derive(GoldenDeltaEntityB, 17),
+		},
+		Links: []kb.LinkAddition{
+			{Src: base, Dst: 5},
+			{Src: 5, Dst: base},
+			{Src: base + 1, Dst: 17},
+			{Src: 17, Dst: base + 1},
+			{Src: base, Dst: base + 1},
+		},
+		Rows: []kb.RowAddition{
+			{Surface: GoldenDeltaEntityA, Entity: base, Count: 3},
+			{Surface: GoldenDeltaEntityB, Entity: base + 1, Count: 2},
+		},
+	}
+	// Re-weight the first ambiguous dictionary row (sorted name order, so
+	// the pick is deterministic): enough extra count to flip the surface's
+	// top candidate, which is what makes the post-apply annotations of the
+	// golden corpus observably different from the pre-apply ones.
+	for _, name := range k.Names() {
+		cands := k.Candidates(name)
+		if len(cands) >= 2 {
+			d.Rows = append(d.Rows, kb.RowAddition{
+				Surface: name,
+				Entity:  cands[1].Entity,
+				Count:   cands[0].Count + 1,
+			})
+			break
+		}
+	}
+	return d
+}

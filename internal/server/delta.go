@@ -1,0 +1,105 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"aida/internal/kb"
+)
+
+// deltaResponse is the body of a successful POST /v1/admin/kb/delta.
+type deltaResponse struct {
+	// Generation is the KB generation now serving.
+	Generation uint64 `json:"generation"`
+	// Entities/Rows/Links count the delta's additions; Touched is how
+	// many pre-existing entities had their link sets extended.
+	Entities int `json:"entities"`
+	Rows     int `json:"rows"`
+	Links    int `json:"links"`
+	Touched  int `json:"touched"`
+	// KBEntities is the repository size after the apply.
+	KBEntities int `json:"kb_entities"`
+	// Journaled reports whether the delta was durably recorded (always
+	// false when the server runs without -delta-journal; false with a
+	// logged error when the append failed — the apply itself stands).
+	Journaled bool `json:"journaled"`
+}
+
+// handleDeltaApply installs a live KB delta into the serving system: the
+// body is the kb.Delta wire form, validation failures are 400s, and a
+// successful apply swaps the serving generation atomically — the very next
+// annotation request can link the new entities by name. Apply and journal
+// append are paired under a lock so the journal records applies in order.
+func (s *Server) handleDeltaApply(w http.ResponseWriter, r *http.Request) {
+	if s.clientGone(w, r) {
+		return
+	}
+	var d kb.Delta
+	if !s.decodeBody(w, r, &d) {
+		return
+	}
+	s.applyMu.Lock()
+	receipt, err := s.sys.ApplyDelta(&d)
+	journaled := false
+	var jerr error
+	if err == nil && s.cfg.DeltaJournal != nil {
+		if jerr = s.cfg.DeltaJournal.Append(&d); jerr == nil {
+			journaled = true
+		}
+	}
+	s.applyMu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "delta rejected: "+err.Error())
+		return
+	}
+	if jerr != nil {
+		// The generation already swapped; losing the journal entry costs
+		// replay durability, not serving correctness. Surface it loudly.
+		s.log.Error("delta journal append failed", "err", jerr)
+	}
+	s.log.Info("kb delta applied",
+		"generation", receipt.Generation,
+		"entities", receipt.Entities,
+		"rows", receipt.Rows,
+		"links", receipt.Links,
+		"touched", receipt.Touched,
+		"kb_entities", receipt.KBEntities,
+		"journaled", journaled,
+	)
+	writeJSON(w, http.StatusOK, deltaResponse{
+		Generation: receipt.Generation,
+		Entities:   receipt.Entities,
+		Rows:       receipt.Rows,
+		Links:      receipt.Links,
+		Touched:    receipt.Touched,
+		KBEntities: receipt.KBEntities,
+		Journaled:  journaled,
+	})
+}
+
+// SnapshotEvery persists the warm scoring engine to the configured
+// snapshot path every interval until ctx is canceled (the -snapshot-every
+// flag of cmd/aidaserver). It is a no-op when the server has no snapshot
+// path or the interval is not positive, so callers can start it
+// unconditionally. Write failures are logged and do not stop the loop.
+func (s *Server) SnapshotEvery(ctx context.Context, every time.Duration) {
+	if s.cfg.EngineSnapshotPath == "" || every <= 0 {
+		return
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			n, err := s.sys.SaveEngineFile(s.cfg.EngineSnapshotPath)
+			if err != nil {
+				s.log.Error("periodic engine snapshot failed", "path", s.cfg.EngineSnapshotPath, "err", err)
+				continue
+			}
+			s.log.Info("periodic engine snapshot written", "path", s.cfg.EngineSnapshotPath, "bytes", n)
+		}
+	}
+}

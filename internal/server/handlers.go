@@ -102,6 +102,9 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.documents.Add(1)
+	if s.cfg.OnDocument != nil {
+		s.cfg.OnDocument(req.Text, doc.Annotations)
+	}
 	writeJSON(w, http.StatusOK, annotateResponse{Annotations: wireAnnotations(doc.Annotations)})
 }
 
@@ -184,6 +187,9 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			s.documents.Add(1)
+			if s.cfg.OnDocument != nil {
+				s.cfg.OnDocument(req.Docs[doc.Index], doc.Annotations)
+			}
 			sc.buf.Reset()
 			sc.wire = appendWireAnnotations(sc.wire[:0], doc.Annotations)
 			if err := enc.Encode(batchLine{Index: doc.Index, Annotations: sc.wire}); err != nil {
@@ -214,6 +220,9 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 	results := make([][]Annotation, len(docs))
 	for i, doc := range docs {
 		results[i] = wireAnnotations(doc.Annotations)
+		if s.cfg.OnDocument != nil {
+			s.cfg.OnDocument(req.Docs[i], doc.Annotations)
+		}
 	}
 	s.documents.Add(int64(len(req.Docs)))
 	writeJSON(w, http.StatusOK, batchResponse{Results: results})
@@ -281,7 +290,8 @@ func (s *Server) handleRelatedness(w http.ResponseWriter, r *http.Request) {
 }
 
 // entityParam parses an entity id query parameter and range-checks it
-// against the KB.
+// against the serving KB generation (graduated entities are addressable
+// as soon as their delta applies).
 func (s *Server) entityParam(raw string) (aida.EntityID, error) {
 	if raw == "" {
 		return 0, fmt.Errorf("missing entity id")
@@ -290,8 +300,8 @@ func (s *Server) entityParam(raw string) (aida.EntityID, error) {
 	if err != nil {
 		return 0, fmt.Errorf("invalid entity id %q", raw)
 	}
-	if id < 0 || id >= s.sys.KB.NumEntities() {
-		return 0, fmt.Errorf("entity id %d out of range [0,%d)", id, s.sys.KB.NumEntities())
+	if n := s.sys.Store().NumEntities(); id < 0 || id >= n {
+		return 0, fmt.Errorf("entity id %d out of range [0,%d)", id, n)
 	}
 	return aida.EntityID(id), nil
 }
@@ -313,6 +323,9 @@ type serverStats struct {
 	// RequestsByEndpoint breaks Requests down per routed path (unrouted
 	// paths — 404s — are only in the total).
 	RequestsByEndpoint map[string]int64 `json:"requests_by_endpoint"`
+	// LatencyByEndpoint is the request-duration histogram per routed
+	// path (endpoints with no traffic yet are omitted).
+	LatencyByEndpoint map[string]latencyStats `json:"latency_by_endpoint"`
 }
 
 type kbStats struct {
@@ -333,14 +346,36 @@ type kbStats struct {
 	RemoteHedges    int64 `json:"remote_hedges"`
 	RemoteRetries   int64 `json:"remote_retries"`
 	RemoteFailovers int64 `json:"remote_failovers"`
+	// Generation is the serving KB generation (0 = as loaded; +1 per
+	// applied live delta), and the Delta counters total what live
+	// updates added since boot. See aida.KBLiveStats.
+	Generation    uint64 `json:"generation"`
+	DeltaApplies  uint64 `json:"delta_applies"`
+	DeltaEntities uint64 `json:"delta_entities"`
+	DeltaRows     uint64 `json:"delta_rows"`
 }
 
 func (s *Server) statsSnapshot() statsResponse {
 	byEndpoint := make(map[string]int64, len(endpoints))
+	byLatency := make(map[string]latencyStats, len(endpoints))
 	for _, e := range endpoints {
 		byEndpoint[e] = s.byEndpoint[e].Load()
+		if ls := s.byLatency[e].snapshot(); ls.Count > 0 {
+			byLatency[e] = ls
+		}
 	}
-	kbs := kbStats{Entities: s.sys.KB.NumEntities(), Shards: s.sys.KB.NumShards()}
+	// One consistent generation snapshot: the store, engine and live
+	// counters reported below all describe the same generation even if a
+	// delta applies mid-request.
+	lv := s.sys.Live()
+	kbs := kbStats{
+		Entities:      lv.Store.NumEntities(),
+		Shards:        lv.Store.NumShards(),
+		Generation:    lv.Stats.Generation,
+		DeltaApplies:  lv.Stats.DeltaApplies,
+		DeltaEntities: lv.Stats.DeltaEntities,
+		DeltaRows:     lv.Stats.DeltaRows,
+	}
 	if r, ok := s.sys.KB.(*kb.RemoteStore); ok {
 		rs := r.Stats()
 		kbs.RemoteShards = rs.Shards
@@ -356,8 +391,9 @@ func (s *Server) statsSnapshot() statsResponse {
 			Documents:          s.documents.Load(),
 			Canceled:           s.canceled.Load(),
 			RequestsByEndpoint: byEndpoint,
+			LatencyByEndpoint:  byLatency,
 		},
-		Engine: s.sys.Scorer().Stats(),
+		Engine: lv.Engine.Stats(),
 		KB:     kbs,
 	}
 }
@@ -424,11 +460,17 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 type healthResponse struct {
 	Status   string `json:"status"`
 	Entities int    `json:"entities"`
+	// Generation is the serving KB generation (0 = as loaded).
+	Generation uint64 `json:"generation"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.clientGone(w, r) {
 		return
 	}
-	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Entities: s.sys.KB.NumEntities()})
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:     "ok",
+		Entities:   s.sys.Store().NumEntities(),
+		Generation: s.sys.Generation(),
+	})
 }

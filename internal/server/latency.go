@@ -1,0 +1,72 @@
+package server
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the request-duration histogram bounds in seconds
+// (Prometheus-style upper bounds; the implicit +Inf bucket is last).
+var latencyBuckets = [numLatencyBuckets]float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+const numLatencyBuckets = 13
+
+// latencyHist is one endpoint's request-duration histogram: lock-free
+// atomic bucket counters plus a microsecond sum, observed once per request
+// in the logging middleware.
+type latencyHist struct {
+	counts    [numLatencyBuckets + 1]atomic.Int64 // per-bucket (last = +Inf)
+	sumMicros atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	secs := d.Seconds()
+	i := 0
+	for i < numLatencyBuckets && secs > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumMicros.Add(d.Microseconds())
+}
+
+// latencyStats is the JSON rendering of one endpoint's histogram in
+// GET /v1/stats: total observations, summed seconds, mean milliseconds,
+// and the cumulative bucket counts keyed by their upper bound.
+type latencyStats struct {
+	Count      int64   `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	MeanMillis float64 `json:"mean_ms"`
+	// Buckets maps the upper bound (seconds, as formatted by strconv;
+	// "+Inf" last) to the cumulative observation count at or under it.
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+// snapshot renders the histogram. Counters are read without a barrier
+// across buckets; a request landing mid-snapshot can skew one count by
+// one, which is fine for monitoring.
+func (h *latencyHist) snapshot() latencyStats {
+	st := latencyStats{Buckets: make(map[string]int64, numLatencyBuckets+1)}
+	cum := int64(0)
+	for i := 0; i <= numLatencyBuckets; i++ {
+		cum += h.counts[i].Load()
+		st.Buckets[bucketLabel(i)] = cum
+	}
+	st.Count = cum
+	st.SumSeconds = float64(h.sumMicros.Load()) / 1e6
+	if st.Count > 0 {
+		st.MeanMillis = st.SumSeconds / float64(st.Count) * 1000
+	}
+	return st
+}
+
+// bucketLabel formats bucket i's upper bound the way Prometheus labels le
+// ("+Inf" for the overflow bucket).
+func bucketLabel(i int) string {
+	if i >= numLatencyBuckets {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(latencyBuckets[i], 'g', -1, 64)
+}

@@ -26,8 +26,30 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 	for _, e := range endpoints {
 		fmt.Fprintf(w, "aida_server_endpoint_requests_total{endpoint=%q} %d\n", e, st.Server.RequestsByEndpoint[e])
 	}
+	header(w, "aida_server_request_seconds", "histogram",
+		"Request duration, by routed endpoint.")
+	for _, e := range endpoints {
+		ls, ok := st.Server.LatencyByEndpoint[e]
+		if !ok {
+			continue
+		}
+		for i := 0; i <= numLatencyBuckets; i++ {
+			le := bucketLabel(i)
+			fmt.Fprintf(w, "aida_server_request_seconds_bucket{endpoint=%q,le=%q} %d\n", e, le, ls.Buckets[le])
+		}
+		fmt.Fprintf(w, "aida_server_request_seconds_sum{endpoint=%q} %g\n", e, ls.SumSeconds)
+		fmt.Fprintf(w, "aida_server_request_seconds_count{endpoint=%q} %d\n", e, ls.Count)
+	}
 	writeMetric(w, "aida_kb_entities", "gauge",
 		"Entities in the loaded knowledge base.", float64(st.KB.Entities))
+	writeMetric(w, "aida_kb_generation", "gauge",
+		"Serving knowledge-base generation (0 = as loaded, +1 per applied live delta).", float64(st.KB.Generation))
+	writeMetric(w, "aida_kb_delta_applies_total", "counter",
+		"Live KB deltas applied since boot.", float64(st.KB.DeltaApplies))
+	writeMetric(w, "aida_kb_delta_entities_total", "counter",
+		"Entities added by live KB deltas since boot.", float64(st.KB.DeltaEntities))
+	writeMetric(w, "aida_kb_delta_rows_total", "counter",
+		"Dictionary rows added by live KB deltas since boot.", float64(st.KB.DeltaRows))
 	writeMetric(w, "aida_kb_shards", "gauge",
 		"Shards backing the knowledge base (1 = unsharded).", float64(st.KB.Shards))
 	writeMetric(w, "aida_kb_remote_shards", "gauge",

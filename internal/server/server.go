@@ -12,6 +12,7 @@
 //	GET  /v1/relatedness     entity-entity relatedness under one measure
 //	GET  /v1/stats           engine + server counters (JSON or Prometheus text)
 //	POST /v1/admin/snapshot  persist the warm scoring engine to disk
+//	POST /v1/admin/kb/delta  apply a live KB delta without restart
 //	GET  /healthz            liveness
 package server
 
@@ -23,6 +24,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -30,6 +32,7 @@ import (
 
 	"aida"
 	"aida/internal/kb"
+	"aida/internal/kb/live"
 )
 
 // Config bounds and wires a Server. The zero value is usable: every field
@@ -59,6 +62,16 @@ type Config struct {
 	// serves its shard of the KB to remote routers alongside — or instead
 	// of — annotation traffic.
 	ShardHost *kb.StoreHost
+	// DeltaJournal, when set, records every delta applied through
+	// POST /v1/admin/kb/delta so a restarted process can replay it (the
+	// -delta-journal flag of cmd/aidaserver). Journal failures are
+	// reported in the response but never roll back an applied delta.
+	DeltaJournal *live.Journal
+	// OnDocument, when set, observes every successfully annotated
+	// document (text plus annotations) after its response is accounted.
+	// The graduation loop's Note hook plugs in here; it must be fast and
+	// must not retain the text beyond its own bookkeeping.
+	OnDocument func(text string, anns []aida.Annotation)
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +102,7 @@ var endpoints = []string{
 	"/v1/relatedness",
 	"/v1/stats",
 	"/v1/admin/snapshot",
+	"/v1/admin/kb/delta",
 	"/v1/store",
 	"/healthz",
 }
@@ -111,6 +125,11 @@ type Server struct {
 	documents  atomic.Int64 // documents annotated
 	canceled   atomic.Int64 // requests abandoned because the client disconnected
 	byEndpoint map[string]*atomic.Int64
+	byLatency  map[string]*latencyHist
+
+	// applyMu pairs a delta apply with its journal append, so the journal
+	// records applies in the order they happened.
+	applyMu sync.Mutex
 }
 
 // New wraps a system in a Server. The system's scoring engine is shared
@@ -118,9 +137,11 @@ type Server struct {
 func New(sys *aida.System, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{sys: sys, cfg: cfg, log: cfg.Logger, start: time.Now(),
-		byEndpoint: make(map[string]*atomic.Int64, len(endpoints))}
+		byEndpoint: make(map[string]*atomic.Int64, len(endpoints)),
+		byLatency:  make(map[string]*latencyHist, len(endpoints))}
 	for _, e := range endpoints {
 		s.byEndpoint[e] = new(atomic.Int64)
+		s.byLatency[e] = new(latencyHist)
 	}
 	return s
 }
@@ -150,6 +171,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/relatedness", s.handleRelatedness)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/admin/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /v1/admin/kb/delta", s.handleDeltaApply)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.cfg.ShardHost != nil {
 		mux.Handle(kb.StorePathPrefix+"/", s.cfg.ShardHost.Handler())
@@ -202,6 +224,9 @@ func (s *Server) logged(next http.Handler) http.Handler {
 		lw := &loggingWriter{ResponseWriter: w, status: http.StatusOK}
 		t0 := time.Now()
 		next.ServeHTTP(lw, r)
+		if h := s.byLatency[path]; h != nil {
+			h.observe(time.Since(t0))
+		}
 		s.log.Info("request",
 			"method", r.Method,
 			"path", r.URL.Path,

@@ -2,8 +2,9 @@
 # Coverage gate for the KB substrate (local, sharded and remote stores),
 # the disambiguation core and the scoring engine: the packages the
 # sharding router, the remote fleet client/host, the scoring layers and
-# the engine persistence/eviction machinery live in must stay above the
-# checked-in threshold. Run from the repository root:
+# the engine persistence/eviction machinery live in — plus the live-KB
+# graduation loop — must stay above the checked-in threshold. Run from
+# the repository root:
 #
 #   ./scripts/check_coverage.sh
 #
@@ -27,7 +28,7 @@ covered() {
     esac
 }
 
-PACKAGES="./internal/kb ./internal/disambig ./internal/relatedness"
+PACKAGES="./internal/kb ./internal/kb/live ./internal/disambig ./internal/relatedness"
 
 status=0
 failed_profiles=""

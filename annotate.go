@@ -65,6 +65,7 @@ type annotateOptions struct {
 	confIters   int
 	confSeed    int64
 	withStats   bool
+	requestID   string
 }
 
 // UseMethod selects the disambiguation method for this request only
@@ -139,6 +140,15 @@ func IncludeConfidence(iterations int, seed int64) AnnotateOption {
 // comparisons, graph size) in Document.Stats.
 func IncludeStats() AnnotateOption {
 	return func(o *annotateOptions) { o.withStats = true }
+}
+
+// WithRequestID labels the request with a caller-chosen trace id,
+// reported back in Document.Stats.RequestID (together with IncludeStats;
+// the id changes no other output). The HTTP server passes its
+// X-Request-ID through here, so a slow or throttled request's work
+// counters carry the same id as its log line and response headers.
+func WithRequestID(id string) AnnotateOption {
+	return func(o *annotateOptions) { o.requestID = id }
 }
 
 // requestOptions resolves the per-request options against the System's
@@ -232,6 +242,7 @@ func (s *System) annotateOne(ctx context.Context, text string, o annotateOptions
 	}
 	if o.withStats {
 		st := out.Stats
+		st.RequestID = o.requestID
 		doc.Stats = &st
 	}
 	return doc, nil

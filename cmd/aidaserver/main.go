@@ -9,26 +9,42 @@
 //	aidaserver -gen 2000 -seed 7 -addr localhost:8080
 //	aidaserver -kb kb.gob -shard-host 0/4 -addr :8081     # serve KB shard 0 of 4
 //	aidaserver -shard-map fleet.json -addr :8080          # annotate over a remote fleet
+//	aidaserver -gen 2000 -tenants tenants.json -addr :8080 # multi-tenant quotas
 //
 // Endpoints:
 //
-//	POST /v1/annotate        {"text": "...", "method": "..."}  one document
+//	POST /v1/annotate        {"text": "...", "method": "..."}  one document;
+//	                         ?format=html (or Accept: text/html) returns the
+//	                         annotated-HTML rendering instead of JSON
 //	POST /v1/annotate/batch  {"docs": [...], "parallelism": N,
 //	                          "method": "..."}                 many documents;
 //	                         Accept: application/x-ndjson (or ?stream=1)
 //	                         streams one result line per document
 //	GET  /v1/relatedness     ?kind=KORE&a=1&b=2                entity relatedness
-//	GET  /v1/stats           engine+server counters (incl. per-endpoint and
-//	                         canceled-request totals); ?format=prometheus
-//	                         for the Prometheus text exposition
+//	GET  /v1/stats           engine+server counters (incl. per-endpoint,
+//	                         per-tenant and canceled-request totals);
+//	                         ?format=prometheus for the Prometheus text
+//	                         exposition
 //	POST /v1/admin/snapshot  persist the warm scoring engine to the
 //	                         -engine-snapshot path (atomic write)
 //	POST /v1/admin/kb/delta  apply a live KB delta (new entities, rows,
 //	                         links) without restart; journaled when
 //	                         -delta-journal is set
+//	GET  /demo               static browser demo driving the annotate and
+//	                         streaming endpoints (no external assets)
 //	GET  /healthz            liveness (reports the serving KB generation)
 //	/v1/store/*              the remote KB read surface (-shard-host mode
 //	                         only): meta, entities, rows, names, idf
+//
+// Every request is traced: an X-Request-ID header is accepted (or minted)
+// and echoed on the response, attached to the structured request log line
+// and embedded in error bodies, so any one artifact of a request finds
+// the others. With -tenants tenants.json the server runs multi-tenant:
+// every endpoint except /healthz, /v1/stats and /demo requires a known
+// API key ("Authorization: Bearer <key>" or "X-API-Key"), each tenant
+// gets a token-bucket request rate and a max-concurrent quota, and
+// over-quota requests are rejected with 429 + Retry-After. SIGHUP
+// hot-reloads the tenants file without dropping counters.
 //
 // With -shard-host "i/n" the process serves shard i of an n-wide KB fleet
 // to remote routers; with -shard-map fleet.json the process is such a
@@ -108,6 +124,7 @@ func main() {
 		journal   = flag.String("delta-journal", "", "append-only journal of applied KB deltas: replayed at boot, appended on every apply (live updates survive restarts)")
 		graduate  = flag.Duration("graduate", 0, "run the emerging-entity graduation loop at this interval (0 = disabled): documents with out-of-KB mentions feed discovery, repeated confident discoveries join the KB live")
 		snapEvery = flag.Duration("snapshot-every", 0, "with -engine-snapshot, additionally persist the warm engine at this interval (0 = only on shutdown and POST /v1/admin/snapshot)")
+		tenants   = flag.String("tenants", "", "path to a tenants file (JSON): per-tenant API keys, token-bucket rates and max-concurrent quotas; hot-reloaded on SIGHUP (empty = open server, no auth)")
 	)
 	flag.Parse()
 
@@ -220,6 +237,30 @@ func main() {
 		defer deltaJournal.Close()
 	}
 
+	var registry *server.Tenants
+	if *tenants != "" {
+		registry, err = server.LoadTenants(*tenants)
+		if err != nil {
+			logger.Error("load tenants", "path", *tenants, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("tenant quotas enabled", "path", *tenants, "tenants", len(registry.Names()))
+		// SIGHUP hot-reloads the tenants file: new keys and limits apply to
+		// the next request, counters and in-flight accounting carry over,
+		// and a bad file leaves the serving config untouched.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if n, rerr := registry.Reload(); rerr != nil {
+					logger.Error("tenants reload failed; keeping current config", "path", *tenants, "err", rerr)
+				} else {
+					logger.Info("tenants reloaded", "path", *tenants, "tenants", n)
+				}
+			}
+		}()
+	}
+
 	cfg := server.Config{
 		MaxBodyBytes:       *maxBody,
 		MaxBatchDocs:       *maxBatch,
@@ -229,6 +270,7 @@ func main() {
 		EngineSnapshotPath: *snapshot,
 		ShardHost:          host,
 		DeltaJournal:       deltaJournal,
+		Tenants:            registry,
 	}
 	var loop *live.Loop
 	if *graduate > 0 {

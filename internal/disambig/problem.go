@@ -236,6 +236,11 @@ type Stats struct {
 	Comparisons int
 	// GraphEntities is the number of candidate entities in the graph.
 	GraphEntities int
+	// RequestID labels the run with the caller's trace id (the HTTP
+	// server's X-Request-ID, via aida.WithRequestID); empty outside traced
+	// requests. Work counters and trace label travel together so a slow
+	// disambiguation is attributable to its request end to end.
+	RequestID string `json:",omitempty"`
 }
 
 // Output is a full disambiguation result.

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"strconv"
+	"strings"
+)
+
+// This file is the one Accept-header parser shared by every content
+// negotiator in the package (wantsNDJSON, wantsPrometheus, wantsHTML).
+// Before it existed each negotiator did a strings.Contains on the raw
+// header, which misrouted any multi-type header that merely mentioned the
+// probed type — "Accept: application/json, text/plain;q=0.1" was treated
+// as a Prometheus scrape, and "application/x-ndjson;q=0" *enabled*
+// streaming. Media ranges are parsed with their q-values and matched by
+// RFC 7231 specificity instead.
+
+// mediaRange is one parsed element of an Accept header.
+type mediaRange struct {
+	typ, sub string  // lower-cased; "*" for wildcards
+	q        float64 // quality factor in [0,1]; 0 means "not acceptable"
+	pos      int     // position in the header, for client-preference ties
+}
+
+// parseAccept parses an Accept header into its media ranges. Malformed
+// ranges are skipped rather than failing the request: Accept is advisory,
+// and a garbled range should not 400 an otherwise fine call.
+func parseAccept(header string) []mediaRange {
+	if header == "" {
+		return nil
+	}
+	var out []mediaRange
+	for i, part := range strings.Split(header, ",") {
+		fields := strings.Split(part, ";")
+		mt := strings.ToLower(strings.TrimSpace(fields[0]))
+		typ, sub, ok := strings.Cut(mt, "/")
+		if !ok || typ == "" || sub == "" {
+			continue
+		}
+		r := mediaRange{typ: typ, sub: sub, q: 1, pos: i}
+		for _, param := range fields[1:] {
+			k, v, ok := strings.Cut(strings.TrimSpace(param), "=")
+			if !ok || !strings.EqualFold(strings.TrimSpace(k), "q") {
+				continue
+			}
+			q, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				// Unparseable q-value: drop the range, not the request.
+				r.q = 0
+				break
+			}
+			r.q = min(max(q, 0), 1)
+			break // first q parameter ends the matchable section
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// specificity ranks how precisely a range names a concrete type: exact
+// type/subtype beats type/*, which beats */*. Anything else cannot match.
+func (r mediaRange) specificity(typ, sub string) int {
+	switch {
+	case r.typ == typ && r.sub == sub:
+		return 3
+	case r.typ == typ && r.sub == "*":
+		return 2
+	case r.typ == "*" && r.sub == "*":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// negotiateAccept picks which of the offered concrete media types (e.g.
+// "application/json", "text/plain") the client prefers, per RFC 7231:
+// each offer takes the q-value of its most specific matching range, the
+// highest q wins, and ties break first toward the range the client listed
+// earlier, then toward the earlier offer (the server's preference — so
+// callers list their default first). An empty or absent header accepts
+// everything, yielding the first offer; a header that matches no offer
+// (or only at q=0) yields "".
+func negotiateAccept(header string, offers ...string) string {
+	ranges := parseAccept(header)
+	if len(ranges) == 0 {
+		if len(offers) == 0 {
+			return ""
+		}
+		return offers[0]
+	}
+	best, bestQ, bestPos := "", 0.0, 0
+	for _, offer := range offers {
+		typ, sub, _ := strings.Cut(offer, "/")
+		spec, q, pos := 0, 0.0, 0
+		for _, r := range ranges {
+			if s := r.specificity(typ, sub); s > spec {
+				spec, q, pos = s, r.q, r.pos
+			}
+		}
+		if spec == 0 || q == 0 {
+			continue // not acceptable
+		}
+		if q > bestQ || (q == bestQ && pos < bestPos) {
+			best, bestQ, bestPos = offer, q, pos
+		}
+	}
+	return best
+}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+func TestNegotiateAccept(t *testing.T) {
+	offers := []string{"application/json", "text/plain"}
+	for _, tc := range []struct {
+		header string
+		want   string
+	}{
+		// Empty/absent header accepts everything: the server's first
+		// (default) offer wins.
+		{"", "application/json"},
+		// Exact types.
+		{"text/plain", "text/plain"},
+		{"application/json", "application/json"},
+		// The bug this parser fixes: mentioning text/plain at a lower
+		// preference must not win over the preferred type.
+		{"application/json, text/plain;q=0.1", "application/json"},
+		{"text/plain;q=0.9, application/json;q=0.1", "text/plain"},
+		// Wildcards match at their q, specific ranges take precedence.
+		{"*/*", "application/json"},
+		{"text/*", "text/plain"},
+		{"text/*;q=0.5, application/json;q=0.4", "text/plain"},
+		{"*/*;q=0.1, text/plain", "text/plain"},
+		// q=0 is an explicit exclusion; an offer no range matches is
+		// unacceptable too, so a bare exclusion leaves nothing (the
+		// handlers then fall back to their JSON default).
+		{"text/plain;q=0", ""},
+		{"text/plain;q=0, */*", "application/json"},
+		{"*/*;q=0", ""},
+		{"application/json;q=0, text/plain;q=0", ""},
+		// Parameters other than q are ignored for matching.
+		{"text/plain;version=0.0.4", "text/plain"},
+		{"text/plain; charset=utf-8; q=0.8, application/json;q=0.2", "text/plain"},
+		// Equal q: the range the client listed earlier wins.
+		{"text/plain, application/json", "text/plain"},
+		{"application/json, text/plain", "application/json"},
+		// Unknown types leave only the matched offer.
+		{"application/xml, text/plain;q=0.3", "text/plain"},
+		// Nothing matches: no acceptable offer.
+		{"application/xml", ""},
+		// Malformed ranges are skipped; fully malformed headers behave
+		// like an absent header.
+		{"garbage", "application/json"},
+		{"garbage, text/plain", "text/plain"},
+		{"text/plain;q=bogus", ""}, // unparseable q excludes the range
+		{"text/plain;q=bogus, application/xml", ""},
+		// q is clamped into [0,1].
+		{"text/plain;q=9, application/json", "text/plain"},
+	} {
+		if got := negotiateAccept(tc.header, offers...); got != tc.want {
+			t.Errorf("negotiateAccept(%q) = %q, want %q", tc.header, got, tc.want)
+		}
+	}
+}
+
+func TestWantsPrometheus(t *testing.T) {
+	for _, tc := range []struct {
+		query, accept string
+		want          bool
+	}{
+		{"", "", false},
+		{"", "text/plain", true},
+		// The misrouting bug: a multi-type header that merely mentions
+		// text/plain must not select the exposition.
+		{"", "application/json, text/plain;q=0.1", false},
+		{"", "text/plain;q=0.9, application/json;q=0.1", true},
+		{"", "*/*", false},
+		{"", "text/*", true},
+		{"", "text/plain;version=0.0.4", true},
+		{"", "application/openmetrics-text", false},
+		// Query params override the header in both directions.
+		{"format=prometheus", "application/json", true},
+		{"format=json", "text/plain", false},
+	} {
+		r := httptest.NewRequest("GET", "/v1/stats?"+tc.query, nil)
+		if tc.accept != "" {
+			r.Header.Set("Accept", tc.accept)
+		}
+		if got := wantsPrometheus(r); got != tc.want {
+			t.Errorf("wantsPrometheus(query=%q, accept=%q) = %v, want %v", tc.query, tc.accept, got, tc.want)
+		}
+	}
+}
+
+func TestWantsNDJSON(t *testing.T) {
+	for _, tc := range []struct {
+		query, accept string
+		want          bool
+	}{
+		{"", "", false},
+		{"", "application/x-ndjson", true},
+		// The q=0 bug: an explicit opt-out used to *enable* streaming.
+		{"", "application/x-ndjson;q=0", false},
+		{"", "application/json, application/x-ndjson;q=0.5", false},
+		{"", "application/x-ndjson, application/json;q=0.5", true},
+		{"", "text/html, application/x-ndjson", true},
+		// Client listing both at equal preference gets the server
+		// default (the buffered JSON array).
+		{"", "application/json, application/x-ndjson", false},
+		{"stream=1", "", true},
+		{"stream=true", "", true},
+		{"stream=ndjson", "", true},
+		{"stream=0", "application/x-ndjson", true}, // not an opt-out value; header decides
+	} {
+		r := httptest.NewRequest("POST", "/v1/annotate/batch?"+tc.query, nil)
+		if tc.accept != "" {
+			r.Header.Set("Accept", tc.accept)
+		}
+		if got := wantsNDJSON(r); got != tc.want {
+			t.Errorf("wantsNDJSON(query=%q, accept=%q) = %v, want %v", tc.query, tc.accept, got, tc.want)
+		}
+	}
+}
+
+func TestWantsHTML(t *testing.T) {
+	for _, tc := range []struct {
+		query, accept string
+		want          bool
+	}{
+		{"", "", false},
+		{"", "text/html", true},
+		{"", "text/html;q=0", false},
+		{"", "application/json, text/html;q=0.5", false},
+		// A browser's default Accept header prefers HTML.
+		{"", "text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8", true},
+		{"format=html", "application/json", true},
+		{"format=json", "text/html", false},
+	} {
+		r := httptest.NewRequest("POST", "/v1/annotate?"+tc.query, nil)
+		if tc.accept != "" {
+			r.Header.Set("Accept", tc.accept)
+		}
+		if got := wantsHTML(r); got != tc.want {
+			t.Errorf("wantsHTML(query=%q, accept=%q) = %v, want %v", tc.query, tc.accept, got, tc.want)
+		}
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"net/http"
 	"slices"
 	"strconv"
-	"strings"
 	"time"
 
 	"aida"
@@ -59,10 +58,22 @@ type annotateRequest struct {
 	// the server default, values above the server cap are clamped. It
 	// never changes the response bytes, only the scheduling.
 	Parallelism int `json:"parallelism"`
+	// Stats asks for the disambiguation work counters — stamped with the
+	// request's trace id — in a "stats" response field.
+	Stats bool `json:"stats"`
 }
 
 type annotateResponse struct {
-	Annotations []Annotation `json:"annotations"`
+	Annotations []Annotation   `json:"annotations"`
+	Stats       *annotateStats `json:"stats,omitempty"`
+}
+
+// annotateStats is the wire form of aida.Stats plus the trace id, so a
+// logged slow request and its response are attributable to each other.
+type annotateStats struct {
+	Comparisons   int    `json:"comparisons"`
+	GraphEntities int    `json:"graph_entities"`
+	RequestID     string `json:"request_id,omitempty"`
 }
 
 // annotateOptions validates the per-request method and parallelism fields
@@ -94,6 +105,14 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	asHTML := wantsHTML(r)
+	if asHTML {
+		// The HTML span titles carry the candidate ranking.
+		opts = append(opts, aida.IncludeCandidates())
+	}
+	if req.Stats {
+		opts = append(opts, aida.IncludeStats(), aida.WithRequestID(requestID(r.Context())))
+	}
 	doc, err := s.sys.AnnotateDoc(r.Context(), req.Text, opts...)
 	if err != nil {
 		if !s.noteCanceled(w, r, err) {
@@ -105,7 +124,22 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.OnDocument != nil {
 		s.cfg.OnDocument(req.Text, doc.Annotations)
 	}
-	writeJSON(w, http.StatusOK, annotateResponse{Annotations: wireAnnotations(doc.Annotations)})
+	if asHTML {
+		var buf bytes.Buffer
+		renderAnnotatedHTML(&buf, req.Text, doc)
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(buf.Bytes())
+		return
+	}
+	resp := annotateResponse{Annotations: wireAnnotations(doc.Annotations)}
+	if doc.Stats != nil {
+		resp.Stats = &annotateStats{
+			Comparisons:   doc.Stats.Comparisons,
+			GraphEntities: doc.Stats.GraphEntities,
+			RequestID:     doc.Stats.RequestID,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 type batchRequest struct {
@@ -229,16 +263,18 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // wantsNDJSON reports whether the client asked for a streaming NDJSON
-// batch response, via Accept: application/x-ndjson or ?stream=1.
+// batch response, via ?stream=1 or an Accept header preferring
+// application/x-ndjson over application/json. The media ranges are
+// negotiated with their q-values — "application/x-ndjson;q=0" is an
+// explicit opt-out, and a header that merely mentions the type among
+// preferred others does not force streaming.
 func wantsNDJSON(r *http.Request) bool {
-	if strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
-		return true
-	}
 	switch r.URL.Query().Get("stream") {
 	case "1", "true", "ndjson":
 		return true
 	}
-	return false
+	return negotiateAccept(r.Header.Get("Accept"),
+		"application/json", "application/x-ndjson") == "application/x-ndjson"
 }
 
 type relatednessResponse struct {
@@ -326,6 +362,9 @@ type serverStats struct {
 	// LatencyByEndpoint is the request-duration histogram per routed
 	// path (endpoints with no traffic yet are omitted).
 	LatencyByEndpoint map[string]latencyStats `json:"latency_by_endpoint"`
+	// Tenants holds the per-tenant admission counters and effective
+	// limits, keyed by tenant name (omitted on an open server).
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 }
 
 type kbStats struct {
@@ -384,15 +423,19 @@ func (s *Server) statsSnapshot() statsResponse {
 		kbs.RemoteRetries = rs.Retries
 		kbs.RemoteFailovers = rs.Failovers
 	}
+	srv := serverStats{
+		UptimeSeconds:      time.Since(s.start).Seconds(),
+		Requests:           s.requests.Load(),
+		Documents:          s.documents.Load(),
+		Canceled:           s.canceled.Load(),
+		RequestsByEndpoint: byEndpoint,
+		LatencyByEndpoint:  byLatency,
+	}
+	if s.cfg.Tenants != nil {
+		srv.Tenants = s.cfg.Tenants.Stats()
+	}
 	return statsResponse{
-		Server: serverStats{
-			UptimeSeconds:      time.Since(s.start).Seconds(),
-			Requests:           s.requests.Load(),
-			Documents:          s.documents.Load(),
-			Canceled:           s.canceled.Load(),
-			RequestsByEndpoint: byEndpoint,
-			LatencyByEndpoint:  byLatency,
-		},
+		Server: srv,
 		Engine: lv.Engine.Stats(),
 		KB:     kbs,
 	}
@@ -411,12 +454,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // wantsPrometheus reports whether the client asked for the Prometheus text
 // exposition, via ?format=prometheus or an Accept header preferring
-// text/plain.
+// text/plain over application/json; ?format=json forces JSON. A header
+// that merely mentions text/plain at a lower preference — e.g.
+// "application/json, text/plain;q=0.1" — gets JSON.
 func wantsPrometheus(r *http.Request) bool {
-	if r.URL.Query().Get("format") == "prometheus" {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
 		return true
+	case "json":
+		return false
 	}
-	return strings.Contains(r.Header.Get("Accept"), "text/plain")
+	return negotiateAccept(r.Header.Get("Accept"),
+		"application/json", "text/plain") == "text/plain"
 }
 
 // snapshotResponse is the body of a successful POST /v1/admin/snapshot.

@@ -1,0 +1,210 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"html"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"aida"
+)
+
+// Annotated-HTML output: ?format=html (or Accept: text/html) on
+// POST /v1/annotate returns the document as an embeddable HTML fragment —
+// every linked mention wrapped in a colored <span> whose <a> points at
+// the entity's Wikipedia article and whose title attribute carries the
+// candidate ranking, in the style of the ProtagonistTagger-like in-text
+// tag demos. All document text and KB-derived strings are HTML-escaped,
+// and the rendering is a pure function of the annotation result, so the
+// fragment is byte-stable across runs and replicas.
+
+// entityPalette are the span background colors, assigned per entity id
+// (id mod len), so one entity keeps its color across mentions and
+// requests. The values are pale enough to keep black text readable.
+var entityPalette = [...]string{
+	"#cfe8fc", "#d2f5d2", "#fde2cf", "#eadcf9", "#fcd9e4",
+	"#d9f2f0", "#faf0c8", "#e2e8f0",
+}
+
+// wikipediaURL builds the entity link the way the exemplar demos do:
+// spaces become underscores, the rest is path-escaped.
+func wikipediaURL(label string) string {
+	return "https://en.wikipedia.org/wiki/" + url.PathEscape(strings.ReplaceAll(label, " ", "_"))
+}
+
+// spanTitle renders the hover text of one mention: the winning entity
+// with its score, then the remaining top candidates with theirs.
+func spanTitle(a aida.Annotation, candidates []aida.RankedCandidate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (score %.3f)", a.Label, a.Score)
+	const maxAlternatives = 4
+	shown := 0
+	for _, c := range candidates {
+		if c.Entity == a.Entity {
+			continue
+		}
+		if shown == 0 {
+			b.WriteString(" — also:")
+		}
+		fmt.Fprintf(&b, " %s %.3f", c.Label, c.Score)
+		if shown++; shown == maxAlternatives {
+			break
+		}
+	}
+	return b.String()
+}
+
+// renderAnnotatedHTML writes the document as one HTML fragment into buf:
+// plain text segments escaped, linked mentions wrapped in colored spans,
+// out-of-KB mentions marked but not linked. candidates may be nil (the
+// titles then carry only the winning entity).
+func renderAnnotatedHTML(buf *bytes.Buffer, text string, doc *aida.Document) {
+	buf.WriteString(`<div class="aida-doc">`)
+	pos := 0
+	for i, a := range doc.Annotations {
+		m := a.Mention
+		if m.Start < pos || m.End > len(text) {
+			continue // overlapping or out-of-range span; keep the text intact
+		}
+		buf.WriteString(html.EscapeString(text[pos:m.Start]))
+		pos = m.End
+		mention := html.EscapeString(text[m.Start:m.End])
+		if a.Entity == aida.NoEntity {
+			buf.WriteString(`<span class="aida-oov" title="out of knowledge base">`)
+			buf.WriteString(mention)
+			buf.WriteString(`</span>`)
+			continue
+		}
+		var cands []aida.RankedCandidate
+		if i < len(doc.Candidates) {
+			cands = doc.Candidates[i]
+		}
+		fmt.Fprintf(buf,
+			`<span class="aida-entity" style="background:%s" data-entity="%d"><a href="%s" title="%s">%s</a></span>`,
+			entityPalette[int(a.Entity)%len(entityPalette)],
+			a.Entity,
+			html.EscapeString(wikipediaURL(a.Label)),
+			html.EscapeString(spanTitle(a, cands)),
+			mention,
+		)
+	}
+	buf.WriteString(html.EscapeString(text[pos:]))
+	buf.WriteString("</div>\n")
+}
+
+// wantsHTML reports whether the client asked for the annotated-HTML
+// rendering of /v1/annotate, via ?format=html or an Accept header
+// preferring text/html; ?format=json forces JSON regardless of Accept.
+func wantsHTML(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "html":
+		return true
+	case "json":
+		return false
+	}
+	return negotiateAccept(r.Header.Get("Accept"), "application/json", "text/html") == "text/html"
+}
+
+func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
+	if s.clientGone(w, r) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(demoPage))
+}
+
+// demoPage is the static browser demo served at GET /demo. It drives the
+// real API from the page's JavaScript: single-document annotation (both
+// the JSON and the annotated-HTML rendering) and the streaming NDJSON
+// batch endpoint, with an optional API key for tenanted servers. No
+// external assets, so it works on an air-gapped deployment.
+const demoPage = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>AIDA — entity annotation demo</title>
+<style>
+  body { font: 15px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 52rem; padding: 0 1rem; color: #1a202c; }
+  h1 { font-size: 1.4rem; }
+  textarea { width: 100%; min-height: 7rem; font: inherit; padding: .5rem; box-sizing: border-box; }
+  input[type=text] { font: inherit; padding: .25rem .5rem; width: 16rem; }
+  button { font: inherit; padding: .4rem .9rem; margin: .5rem .5rem 0 0; cursor: pointer; }
+  .aida-doc { line-height: 1.9; border: 1px solid #e2e8f0; border-radius: 6px; padding: 1rem; margin-top: 1rem; }
+  .aida-entity { padding: 1px 4px; border-radius: 4px; }
+  .aida-entity a { color: inherit; text-decoration: none; border-bottom: 1px dotted #4a5568; }
+  .aida-oov { border-bottom: 1px dashed #a0aec0; }
+  pre { background: #f7fafc; border: 1px solid #e2e8f0; border-radius: 6px; padding: 1rem; overflow-x: auto; white-space: pre-wrap; }
+  .err { color: #c53030; }
+  label { color: #4a5568; font-size: .9rem; }
+</style>
+</head>
+<body>
+<h1>AIDA entity annotation demo</h1>
+<p>Paste text, annotate it, and hover the highlighted mentions for the
+candidate ranking; each mention links to its entity. The stream button
+sends the text line-by-line through the NDJSON batch endpoint.</p>
+<label>API key (only needed on a tenanted server):
+<input type="text" id="key" placeholder="tenant API key"></label>
+<textarea id="text">Page and Plant wrote Kashmir while Bonham kept time.</textarea>
+<div>
+  <button id="annotate">Annotate (HTML)</button>
+  <button id="json">Annotate (JSON)</button>
+  <button id="stream">Stream lines (NDJSON)</button>
+</div>
+<div id="out"></div>
+<script>
+"use strict";
+const out = document.getElementById("out");
+function headers(json) {
+  const h = {"Content-Type": "application/json"};
+  const key = document.getElementById("key").value.trim();
+  if (key) h["X-API-Key"] = key;
+  return h;
+}
+function fail(resp, body) {
+  const id = resp.headers.get("X-Request-ID") || "?";
+  out.innerHTML = '<pre class="err"></pre>';
+  out.firstChild.textContent = "HTTP " + resp.status + " (request " + id + "): " + body;
+}
+async function annotate(format) {
+  const resp = await fetch("/v1/annotate?format=" + format, {
+    method: "POST",
+    headers: headers(),
+    body: JSON.stringify({text: document.getElementById("text").value}),
+  });
+  const body = await resp.text();
+  if (!resp.ok) { fail(resp, body); return; }
+  if (format === "html") {
+    out.innerHTML = body;
+  } else {
+    out.innerHTML = "<pre></pre>";
+    out.firstChild.textContent = JSON.stringify(JSON.parse(body), null, 2);
+  }
+}
+async function stream() {
+  const docs = document.getElementById("text").value.split("\n").filter(l => l.trim());
+  const resp = await fetch("/v1/annotate/batch?stream=1", {
+    method: "POST",
+    headers: headers(),
+    body: JSON.stringify({docs}),
+  });
+  if (!resp.ok) { fail(resp, await resp.text()); return; }
+  out.innerHTML = "<pre></pre>";
+  const pre = out.firstChild;
+  const reader = resp.body.getReader();
+  const dec = new TextDecoder();
+  for (;;) {
+    const {done, value} = await reader.read();
+    if (done) break;
+    pre.textContent += dec.decode(value, {stream: true});
+  }
+}
+document.getElementById("annotate").onclick = () => annotate("html").catch(e => { out.textContent = e; });
+document.getElementById("json").onclick = () => annotate("json").catch(e => { out.textContent = e; });
+document.getElementById("stream").onclick = () => stream().catch(e => { out.textContent = e; });
+</script>
+</body>
+</html>
+`

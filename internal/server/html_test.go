@@ -1,0 +1,159 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+
+	"aida"
+)
+
+// TestAnnotateHTMLEscapesScript is the ISSUE's escaping test: document
+// text containing a <script> tag must come back inert — escaped text
+// inside the fragment, never live markup.
+func TestAnnotateHTMLEscapesScript(t *testing.T) {
+	k, docs := testWorld(t, 1)
+	_, ts := newTestServer(t, k, Config{})
+
+	text := docs[0] + ` <script>alert("xss")</script>`
+	resp := postJSON(t, ts.URL+"/v1/annotate?format=html", annotateRequest{Text: text})
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (body %s)", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/html; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	out := string(body)
+	if strings.Contains(out, "<script") {
+		t.Errorf("script tag survived escaping:\n%s", out)
+	}
+	if !strings.Contains(out, "&lt;script&gt;alert(&#34;xss&#34;)&lt;/script&gt;") {
+		t.Errorf("escaped script text missing:\n%s", out)
+	}
+	if !strings.HasPrefix(out, `<div class="aida-doc">`) {
+		t.Errorf("fragment does not open with the document div:\n%s", out)
+	}
+	// The test corpus links real entities: colored spans with Wikipedia
+	// hrefs and candidate-ranking titles must be present.
+	for _, want := range []string{
+		`class="aida-entity"`,
+		`style="background:#`,
+		`href="https://en.wikipedia.org/wiki/`,
+		`title="`,
+		`data-entity="`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAnnotateHTMLByteStable pins the acceptance criterion that the HTML
+// rendering is a pure function of the annotation result: two identical
+// requests return identical bytes.
+func TestAnnotateHTMLByteStable(t *testing.T) {
+	k, docs := testWorld(t, 2)
+	_, ts := newTestServer(t, k, Config{})
+
+	get := func() []byte {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/v1/annotate?format=html", annotateRequest{Text: docs[0]})
+		b := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		return b
+	}
+	first := get()
+	if second := get(); !bytes.Equal(first, second) {
+		t.Errorf("HTML output not byte-stable across runs:\n1st: %s\n2nd: %s", first, second)
+	}
+
+	// The Accept-header route must produce the same bytes as ?format=html.
+	req, err := http.NewRequest("POST", ts.URL+"/v1/annotate",
+		bytes.NewReader(mustJSON(t, annotateRequest{Text: docs[0]})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/html")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := readAll(t, resp); !bytes.Equal(first, b) {
+		t.Errorf("Accept: text/html bytes differ from ?format=html bytes")
+	}
+}
+
+// TestRenderAnnotatedHTMLEscapesKBStrings drives the renderer directly
+// with hostile KB-derived strings: labels and mention text must be
+// escaped in the link, the title and the span body alike.
+func TestRenderAnnotatedHTMLEscapesKBStrings(t *testing.T) {
+	text := `see X&Y today`
+	doc := &aida.Document{
+		Annotations: []aida.Annotation{{
+			Mention: aida.MentionSpan{Text: "X&Y", Start: 4, End: 7},
+			Entity:  3,
+			Label:   `A<B>"C`,
+			Score:   0.5,
+		}},
+		Candidates: [][]aida.RankedCandidate{{
+			{Entity: 3, Label: `A<B>"C`, Score: 0.5},
+			{Entity: 9, Label: `D&E`, Score: 0.25},
+		}},
+	}
+	var buf bytes.Buffer
+	renderAnnotatedHTML(&buf, text, doc)
+	out := buf.String()
+	for _, raw := range []string{`A<B>`, `"C`, "X&Y"} {
+		if strings.Contains(out, raw) {
+			t.Errorf("unescaped KB string %q in output:\n%s", raw, out)
+		}
+	}
+	for _, want := range []string{
+		"X&amp;Y",             // mention text
+		"A&lt;B&gt;&#34;C",    // label in the title
+		"also: D&amp;E 0.250", // alternative candidate in the title
+		`data-entity="3"`,
+		"/wiki/A%3CB%3E%22C", // path-escaped link
+		"see ",               // leading text survives
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// An out-of-KB mention is marked but never linked.
+	oov := &aida.Document{Annotations: []aida.Annotation{{
+		Mention: aida.MentionSpan{Text: "Zzz", Start: 0, End: 3},
+		Entity:  aida.NoEntity,
+	}}}
+	buf.Reset()
+	renderAnnotatedHTML(&buf, "Zzz rocks", oov)
+	if out := buf.String(); !strings.Contains(out, `class="aida-oov"`) || strings.Contains(out, "<a ") {
+		t.Errorf("OOV rendering wrong:\n%s", out)
+	}
+}
+
+func TestDemoPage(t *testing.T) {
+	k, _ := testWorld(t, 1)
+	_, ts := newTestServer(t, k, Config{})
+	resp, err := http.Get(ts.URL + "/demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(readAll(t, resp))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/html; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	for _, want := range []string{"<!doctype html>", "/v1/annotate", "/v1/annotate/batch?stream=1", "X-API-Key"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("demo page missing %q", want)
+		}
+	}
+}

@@ -4,7 +4,21 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 )
+
+// promLabelEscaper escapes a label value for the Prometheus text
+// exposition. The format defines exactly three escapes — backslash,
+// double quote and newline; %q is wrong here because it emits Go-style
+// \uXXXX sequences for non-ASCII values (exposition label values are
+// raw UTF-8), which matters as soon as tenant names become label values.
+var promLabelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// promLabel renders one label="value" pair with exposition-format
+// escaping applied to the value.
+func promLabel(name, value string) string {
+	return name + `="` + promLabelEscaper.Replace(value) + `"`
+}
 
 // writeMetrics renders the stats snapshot in the Prometheus text
 // exposition format (hand-rolled: the format is three line shapes, not
@@ -24,7 +38,32 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 	header(w, "aida_server_endpoint_requests_total", "counter",
 		"HTTP requests served, by routed endpoint.")
 	for _, e := range endpoints {
-		fmt.Fprintf(w, "aida_server_endpoint_requests_total{endpoint=%q} %d\n", e, st.Server.RequestsByEndpoint[e])
+		fmt.Fprintf(w, "aida_server_endpoint_requests_total{%s} %d\n", promLabel("endpoint", e), st.Server.RequestsByEndpoint[e])
+	}
+	header(w, "aida_server_tenant_requests_total", "counter",
+		"Admission attempts per tenant (admitted plus throttled).")
+	tenants := s.cfg.Tenants
+	if tenants != nil {
+		for _, name := range tenants.Names() {
+			fmt.Fprintf(w, "aida_server_tenant_requests_total{%s} %d\n",
+				promLabel("tenant", name), st.Server.Tenants[name].Requests)
+		}
+	}
+	header(w, "aida_server_tenant_throttled_total", "counter",
+		"Requests rejected with 429 because the tenant was over quota.")
+	if tenants != nil {
+		for _, name := range tenants.Names() {
+			fmt.Fprintf(w, "aida_server_tenant_throttled_total{%s} %d\n",
+				promLabel("tenant", name), st.Server.Tenants[name].Throttled)
+		}
+	}
+	header(w, "aida_server_tenant_in_flight", "gauge",
+		"Requests currently in flight per tenant.")
+	if tenants != nil {
+		for _, name := range tenants.Names() {
+			fmt.Fprintf(w, "aida_server_tenant_in_flight{%s} %d\n",
+				promLabel("tenant", name), st.Server.Tenants[name].InFlight)
+		}
 	}
 	header(w, "aida_server_request_seconds", "histogram",
 		"Request duration, by routed endpoint.")
@@ -35,10 +74,11 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 		}
 		for i := 0; i <= numLatencyBuckets; i++ {
 			le := bucketLabel(i)
-			fmt.Fprintf(w, "aida_server_request_seconds_bucket{endpoint=%q,le=%q} %d\n", e, le, ls.Buckets[le])
+			fmt.Fprintf(w, "aida_server_request_seconds_bucket{%s,%s} %d\n",
+				promLabel("endpoint", e), promLabel("le", le), ls.Buckets[le])
 		}
-		fmt.Fprintf(w, "aida_server_request_seconds_sum{endpoint=%q} %g\n", e, ls.SumSeconds)
-		fmt.Fprintf(w, "aida_server_request_seconds_count{endpoint=%q} %d\n", e, ls.Count)
+		fmt.Fprintf(w, "aida_server_request_seconds_sum{%s} %g\n", promLabel("endpoint", e), ls.SumSeconds)
+		fmt.Fprintf(w, "aida_server_request_seconds_count{%s} %d\n", promLabel("endpoint", e), ls.Count)
 	}
 	writeMetric(w, "aida_kb_entities", "gauge",
 		"Entities in the loaded knowledge base.", float64(st.KB.Entities))
@@ -78,12 +118,12 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 	header(w, "aida_engine_kind_hits_total", "counter",
 		"Pair-cache hits by measure kind.")
 	for _, ks := range st.Engine.ByKind {
-		fmt.Fprintf(w, "aida_engine_kind_hits_total{kind=%q} %d\n", ks.Name, ks.Hits)
+		fmt.Fprintf(w, "aida_engine_kind_hits_total{%s} %d\n", promLabel("kind", ks.Name), ks.Hits)
 	}
 	header(w, "aida_engine_kind_misses_total", "counter",
 		"Pair-cache misses (computed values) by measure kind.")
 	for _, ks := range st.Engine.ByKind {
-		fmt.Fprintf(w, "aida_engine_kind_misses_total{kind=%q} %d\n", ks.Name, ks.Misses)
+		fmt.Fprintf(w, "aida_engine_kind_misses_total{%s} %d\n", promLabel("kind", ks.Name), ks.Misses)
 	}
 }
 

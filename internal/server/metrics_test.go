@@ -1,0 +1,50 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPromLabelEscaping pins the exposition-format escaping rules: exactly
+// backslash, double quote and newline are escaped, and non-ASCII values
+// stay raw UTF-8 (the old %q rendering emitted invalid \uXXXX sequences).
+func TestPromLabelEscaping(t *testing.T) {
+	for _, tc := range []struct{ value, want string }{
+		{`plain`, `l="plain"`},
+		{`has "quotes"`, `l="has \"quotes\""`},
+		{`back\slash`, `l="back\\slash"`},
+		{"new\nline", `l="new\nline"`},
+		{`all "three\` + "\n", `l="all \"three\\\n"`},
+		// Non-ASCII must pass through raw, not as a \uXXXX escape.
+		{"café", `l="café"`},
+		{"日本", `l="日本"`},
+	} {
+		if got := promLabel("l", tc.value); got != tc.want {
+			t.Errorf("promLabel(%q) = %s, want %s", tc.value, got, tc.want)
+		}
+	}
+}
+
+// TestMetricsNonASCIITenantLabel runs a non-ASCII tenant name through the
+// full exposition: the label must appear as raw UTF-8 with no Go-style
+// escape sequences anywhere in the scrape.
+func TestMetricsNonASCIITenantLabel(t *testing.T) {
+	k, _ := testWorld(t, 1)
+	reg, err := NewTenants([]TenantConfig{{Name: "café-tenant", Key: "kc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, k, Config{Tenants: reg})
+	resp, err := http.Get(ts.URL + "/v1/stats?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom := string(readAll(t, resp))
+	if !strings.Contains(prom, `aida_server_tenant_requests_total{tenant="café-tenant"} 0`) {
+		t.Errorf("tenant label not raw UTF-8:\n%s", prom)
+	}
+	if strings.Contains(prom, `\u`) {
+		t.Errorf("Go-style \\u escape leaked into the exposition:\n%s", prom)
+	}
+}

@@ -7,13 +7,19 @@
 //
 // Endpoints (see docs/API.md for the full reference):
 //
-//	POST /v1/annotate        annotate one document
+//	POST /v1/annotate        annotate one document (JSON or ?format=html)
 //	POST /v1/annotate/batch  annotate many documents (JSON array or NDJSON stream)
 //	GET  /v1/relatedness     entity-entity relatedness under one measure
 //	GET  /v1/stats           engine + server counters (JSON or Prometheus text)
 //	POST /v1/admin/snapshot  persist the warm scoring engine to disk
 //	POST /v1/admin/kb/delta  apply a live KB delta without restart
+//	GET  /demo               static browser demo driving the API
 //	GET  /healthz            liveness
+//
+// Requests are traced (X-Request-ID accepted or generated, echoed on the
+// response, logged, embedded in error bodies) and, when a tenant registry
+// is configured, admission-controlled per tenant (API-key auth,
+// token-bucket rates, max-concurrent quotas, 429 + Retry-After).
 package server
 
 import (
@@ -72,6 +78,13 @@ type Config struct {
 	// The graduation loop's Note hook plugs in here; it must be fast and
 	// must not retain the text beyond its own bookkeeping.
 	OnDocument func(text string, anns []aida.Annotation)
+	// Tenants, when set, turns on multi-tenant admission control (the
+	// -tenants flag of cmd/aidaserver): every endpoint except /healthz,
+	// /v1/stats and /demo requires a known API key, and each tenant's
+	// token-bucket rate and max-concurrent quotas are enforced with 429 +
+	// Retry-After before any annotation work is scheduled. Nil keeps the
+	// server open, exactly as before.
+	Tenants *Tenants
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +117,7 @@ var endpoints = []string{
 	"/v1/admin/snapshot",
 	"/v1/admin/kb/delta",
 	"/v1/store",
+	"/demo",
 	"/healthz",
 }
 
@@ -162,8 +176,11 @@ func (s *Server) noteCanceled(w http.ResponseWriter, r *http.Request, err error)
 	return true
 }
 
-// Handler returns the service's routing handler with request logging and
-// body limits applied.
+// Handler returns the service's routing handler with the middleware
+// chain applied, outermost first: trace (X-Request-ID) → request
+// logging/counting → tenant auth + quotas → route. Tracing sits outside
+// logging and admission so a throttled or rejected request still carries
+// its id on the response, in its error body and on the log line.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/annotate", s.handleAnnotate)
@@ -172,11 +189,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/admin/snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /v1/admin/kb/delta", s.handleDeltaApply)
+	mux.HandleFunc("GET /demo", s.handleDemo)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.cfg.ShardHost != nil {
 		mux.Handle(kb.StorePathPrefix+"/", s.cfg.ShardHost.Handler())
 	}
-	return s.logged(mux)
+	return s.traced(s.logged(s.tenanted(mux)))
 }
 
 // Serve accepts connections on l until ctx is cancelled, then drains
@@ -227,23 +245,30 @@ func (s *Server) logged(next http.Handler) http.Handler {
 		if h := s.byLatency[path]; h != nil {
 			h.observe(time.Since(t0))
 		}
-		s.log.Info("request",
+		attrs := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", lw.status,
 			"bytes", lw.bytes,
-			"duration_ms", float64(time.Since(t0).Microseconds())/1000,
+			"duration_ms", float64(time.Since(t0).Microseconds()) / 1000,
 			"remote", r.RemoteAddr,
-		)
+			"request_id", requestID(r.Context()),
+		}
+		if lw.tenant != "" {
+			attrs = append(attrs, "tenant", lw.tenant)
+		}
+		s.log.Info("request", attrs...)
 	})
 }
 
-// loggingWriter records the status and byte count of a response. Flush is
+// loggingWriter records the status and byte count of a response, plus the
+// tenant the admission layer attributed the request to. Flush is
 // forwarded so NDJSON streaming works through the middleware.
 type loggingWriter struct {
 	http.ResponseWriter
 	status int
 	bytes  int64
+	tenant string
 }
 
 func (w *loggingWriter) WriteHeader(code int) {
@@ -263,9 +288,12 @@ func (w *loggingWriter) Flush() {
 	}
 }
 
-// errorResponse is the body of every non-2xx response.
+// errorResponse is the body of every non-2xx response. RequestID repeats
+// the response's X-Request-ID so a pasted error body alone is enough to
+// find the request's log line.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -275,8 +303,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
+// writeError writes the JSON error body. The trace id is read back from
+// the response header the traced middleware set, so every call site gets
+// attribution without threading the request through.
 func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorResponse{Error: msg})
+	writeJSON(w, code, errorResponse{Error: msg, RequestID: w.Header().Get(requestIDHeader)})
 }
 
 // decodeBody decodes a JSON request body under the configured size cap.

@@ -341,6 +341,11 @@ func TestStatsEndpoint(t *testing.T) {
 		"aida_engine_max_profile_bytes",
 		"aida_engine_evictions_total",
 		"aida_engine_pairs_evicted_total",
+		// The tenant families are always present (values only under a
+		// tenanted config), so dashboards can predeclare them.
+		"aida_server_tenant_requests_total",
+		"aida_server_tenant_throttled_total",
+		"aida_server_tenant_in_flight",
 		`aida_engine_kind_hits_total{kind="MW"}`,
 		`aida_engine_kind_hits_total{kind="KORE"}`,
 		`aida_engine_kind_misses_total{kind="MW"}`,

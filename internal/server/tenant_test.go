@@ -1,0 +1,397 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tenantedServer builds a test server whose registry holds the given
+// tenants.
+func tenantedServer(t testing.TB, docs int, cfgs []TenantConfig) (ts string, texts []string) {
+	t.Helper()
+	k, texts := testWorld(t, docs)
+	reg, err := NewTenants(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srv := newTestServer(t, k, Config{Tenants: reg})
+	return srv.URL, texts
+}
+
+// annotateAs posts one annotate request authenticated as the given API
+// key (empty = no credentials) and returns the response.
+func annotateAs(t testing.TB, url, key, text string) *http.Response {
+	t.Helper()
+	body := mustJSON(t, annotateRequest{Text: text})
+	req, err := http.NewRequest("POST", url+"/v1/annotate", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestTenantAuth(t *testing.T) {
+	url, docs := tenantedServer(t, 1, []TenantConfig{
+		{Name: "alpha", Key: "ka"},
+	})
+
+	t.Run("no key", func(t *testing.T) {
+		resp := annotateAs(t, url, "", docs[0])
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("status %d, want 401 (body %s)", resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("WWW-Authenticate"); !strings.Contains(got, "Bearer") {
+			t.Errorf("WWW-Authenticate = %q", got)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" || e.RequestID == "" {
+			t.Errorf("401 body %s should carry error and request_id", body)
+		}
+	})
+	t.Run("wrong key", func(t *testing.T) {
+		resp := annotateAs(t, url, "bogus", docs[0])
+		readAll(t, resp)
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("status %d, want 401", resp.StatusCode)
+		}
+	})
+	t.Run("x-api-key", func(t *testing.T) {
+		resp := annotateAs(t, url, "ka", docs[0])
+		readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d, want 200", resp.StatusCode)
+		}
+	})
+	t.Run("bearer", func(t *testing.T) {
+		req, _ := http.NewRequest("POST", url+"/v1/annotate",
+			bytes.NewReader(mustJSON(t, annotateRequest{Text: docs[0]})))
+		req.Header.Set("Authorization", "Bearer ka")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d, want 200", resp.StatusCode)
+		}
+	})
+	t.Run("open endpoints", func(t *testing.T) {
+		for _, path := range []string{"/healthz", "/v1/stats", "/demo"} {
+			resp, err := http.Get(url + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			readAll(t, resp)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("%s without key: status %d, want 200", path, resp.StatusCode)
+			}
+		}
+	})
+}
+
+// TestTenantQuotaExactAdmission is the -race admission test of the
+// multi-tenant layer: N concurrent clients per tenant race into buckets
+// of different sizes, and each tenant must observe exactly its own
+// limit — burst admitted, the rest rejected with 429 + Retry-After —
+// with the counters in both /v1/stats and the Prometheus exposition
+// agreeing per tenant.
+func TestTenantQuotaExactAdmission(t *testing.T) {
+	// Refill is negligible on the test's timescale (one token per ~17
+	// minutes), so admissions come out of the initial burst only.
+	const trickle = 0.001
+	url, docs := tenantedServer(t, 1, []TenantConfig{
+		{Name: "alpha", Key: "ka", RatePerSec: trickle, Burst: 1},
+		{Name: "beta", Key: "kb", RatePerSec: trickle, Burst: 3},
+	})
+
+	const clientsPerTenant = 6
+	type outcome struct {
+		tenant     string
+		status     int
+		retryAfter string
+		err        error
+	}
+	results := make(chan outcome, 2*clientsPerTenant)
+	body := mustJSON(t, annotateRequest{Text: docs[0]})
+	var wg sync.WaitGroup
+	for _, key := range []string{"ka", "kb"} {
+		for c := 0; c < clientsPerTenant; c++ {
+			wg.Add(1)
+			// No t.Fatal below: FailNow must not be called off the test
+			// goroutine, so failures travel through the results channel.
+			go func(key string) {
+				defer wg.Done()
+				req, err := http.NewRequest("POST", url+"/v1/annotate", bytes.NewReader(body))
+				if err != nil {
+					results <- outcome{tenant: key, err: err}
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("X-API-Key", key)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					results <- outcome{tenant: key, err: err}
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				results <- outcome{key, resp.StatusCode, resp.Header.Get("Retry-After"), nil}
+			}(key)
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	admitted := map[string]int{}
+	throttled := map[string]int{}
+	for r := range results {
+		if r.err != nil {
+			t.Fatalf("tenant %s: %v", r.tenant, r.err)
+		}
+		switch r.status {
+		case http.StatusOK:
+			admitted[r.tenant]++
+		case http.StatusTooManyRequests:
+			throttled[r.tenant]++
+			secs, err := strconv.Atoi(r.retryAfter)
+			if err != nil || secs < 1 {
+				t.Errorf("tenant %s: 429 Retry-After = %q, want a positive integer", r.tenant, r.retryAfter)
+			}
+		default:
+			t.Errorf("tenant %s: unexpected status %d", r.tenant, r.status)
+		}
+	}
+	// Exactly the burst admitted, per tenant: 1 for alpha, 3 for beta.
+	if admitted["ka"] != 1 || throttled["ka"] != clientsPerTenant-1 {
+		t.Errorf("alpha: %d admitted / %d throttled, want 1 / %d", admitted["ka"], throttled["ka"], clientsPerTenant-1)
+	}
+	if admitted["kb"] != 3 || throttled["kb"] != clientsPerTenant-3 {
+		t.Errorf("beta: %d admitted / %d throttled, want 3 / %d", admitted["kb"], throttled["kb"], clientsPerTenant-3)
+	}
+
+	// The same numbers must surface in the stats JSON...
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(readAll(t, resp), &st); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]TenantStats{
+		"alpha": {Requests: clientsPerTenant, Throttled: clientsPerTenant - 1, RatePerSec: trickle, Burst: 1},
+		"beta":  {Requests: clientsPerTenant, Throttled: clientsPerTenant - 3, RatePerSec: trickle, Burst: 3},
+	} {
+		got, ok := st.Server.Tenants[name]
+		if !ok {
+			t.Fatalf("stats missing tenant %q: %+v", name, st.Server.Tenants)
+		}
+		if got.Requests != want.Requests || got.Throttled != want.Throttled ||
+			got.InFlight != 0 || got.RatePerSec != want.RatePerSec || got.Burst != want.Burst {
+			t.Errorf("tenant %q stats = %+v, want %+v", name, got, want)
+		}
+	}
+
+	// ...and in the Prometheus exposition, with tenant labels.
+	promResp, err := http.Get(url + "/v1/stats?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom := string(readAll(t, promResp))
+	for _, line := range []string{
+		fmt.Sprintf(`aida_server_tenant_requests_total{tenant="alpha"} %d`, clientsPerTenant),
+		fmt.Sprintf(`aida_server_tenant_requests_total{tenant="beta"} %d`, clientsPerTenant),
+		fmt.Sprintf(`aida_server_tenant_throttled_total{tenant="alpha"} %d`, clientsPerTenant-1),
+		fmt.Sprintf(`aida_server_tenant_throttled_total{tenant="beta"} %d`, clientsPerTenant-3),
+		`aida_server_tenant_in_flight{tenant="alpha"} 0`,
+	} {
+		if !strings.Contains(prom, line) {
+			t.Errorf("prometheus output missing %q", line)
+		}
+	}
+}
+
+// TestTenantRetryAfterReflectsBucket pins the Retry-After arithmetic: an
+// empty bucket refilling at 0.001 tokens/s is ~1000 seconds from the next
+// token, and the header must say so (rounded up, never 0).
+func TestTenantRetryAfterReflectsBucket(t *testing.T) {
+	url, docs := tenantedServer(t, 1, []TenantConfig{
+		{Name: "alpha", Key: "ka", RatePerSec: 0.001, Burst: 1},
+	})
+	if resp := annotateAs(t, url, "ka", docs[0]); resp.StatusCode != http.StatusOK {
+		readAll(t, resp)
+		t.Fatalf("first request: status %d, want 200", resp.StatusCode)
+	} else {
+		readAll(t, resp)
+	}
+	resp := annotateAs(t, url, "ka", docs[0])
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer", resp.Header.Get("Retry-After"))
+	}
+	// ceil((1 - ε) / 0.001) — at most 1000, and well above 900 unless the
+	// test machine stalled for over a minute between the two requests.
+	if secs < 900 || secs > 1000 {
+		t.Errorf("Retry-After = %d, want ~1000 (empty bucket at 0.001 tokens/s)", secs)
+	}
+
+	if secs := retryAfterSeconds(0); secs != 1 {
+		t.Errorf("retryAfterSeconds(0) = %d, want floor of 1", secs)
+	}
+	if secs := retryAfterSeconds(1100 * time.Millisecond); secs != 2 {
+		t.Errorf("retryAfterSeconds(1.1s) = %d, want 2 (rounded up)", secs)
+	}
+}
+
+func TestTenantMaxConcurrent(t *testing.T) {
+	reg, err := NewTenants([]TenantConfig{{Name: "alpha", Key: "ka", MaxConcurrent: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := reg.lookup("ka")
+	if tn == nil {
+		t.Fatal("lookup failed")
+	}
+	now := time.Now()
+	if ok, _ := tn.admit(now); !ok {
+		t.Fatal("first request should hold the only slot")
+	}
+	ok, retry := tn.admit(now)
+	if ok {
+		t.Fatal("second concurrent request admitted past max_concurrent=1")
+	}
+	if retry < time.Second {
+		t.Errorf("concurrency rejection suggested Retry-After %v, want >= 1s", retry)
+	}
+	if st := reg.Stats()["alpha"]; st.InFlight != 1 || st.Throttled != 1 {
+		t.Errorf("mid-flight stats = %+v, want in_flight 1, throttled 1", st)
+	}
+	tn.release()
+	if ok, _ := tn.admit(now); !ok {
+		t.Fatal("slot not reusable after release")
+	}
+	tn.release()
+	if st := reg.Stats()["alpha"]; st.InFlight != 0 {
+		t.Errorf("in_flight = %d after all releases", st.InFlight)
+	}
+}
+
+func TestTenantConfigValidation(t *testing.T) {
+	for name, cfgs := range map[string][]TenantConfig{
+		"empty name":    {{Key: "k"}},
+		"empty key":     {{Name: "a"}},
+		"negative rate": {{Name: "a", Key: "k", RatePerSec: -1}},
+		"dup name":      {{Name: "a", Key: "k1"}, {Name: "a", Key: "k2"}},
+		"dup key":       {{Name: "a", Key: "k"}, {Name: "b", Key: "k"}},
+	} {
+		if _, err := NewTenants(cfgs); err == nil {
+			t.Errorf("%s: NewTenants accepted invalid config", name)
+		}
+	}
+
+	// Burst defaulting: ceil(rate), minimum 1.
+	reg, err := NewTenants([]TenantConfig{
+		{Name: "a", Key: "k1", RatePerSec: 2.5},
+		{Name: "b", Key: "k2", RatePerSec: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := reg.Stats(); st["a"].Burst != 3 || st["b"].Burst != 1 {
+		t.Errorf("burst defaults = %d, %d, want 3, 1", st["a"].Burst, st["b"].Burst)
+	}
+}
+
+// TestTenantsReload exercises the SIGHUP path: a reload re-keys a tenant,
+// adds another, keeps the old tenant's counters, and a broken file never
+// replaces the serving table.
+func TestTenantsReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	writeFile := func(content string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile(`{"tenants": [{"name": "alpha", "key": "ka"}]}`)
+	reg, err := LoadTenants(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, docs := testWorld(t, 1)
+	_, ts := newTestServer(t, k, Config{Tenants: reg})
+
+	for i := 0; i < 2; i++ {
+		resp := annotateAs(t, ts.URL, "ka", docs[0])
+		readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	// Re-key alpha, add beta.
+	writeFile(`{"tenants": [
+		{"name": "alpha", "key": "ka2"},
+		{"name": "beta", "key": "kb"}
+	]}`)
+	n, err := reg.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("reload reported %d tenants, want 2", n)
+	}
+	if resp := annotateAs(t, ts.URL, "ka", docs[0]); resp.StatusCode != http.StatusUnauthorized {
+		readAll(t, resp)
+		t.Errorf("old key after re-key: status %d, want 401", resp.StatusCode)
+	} else {
+		readAll(t, resp)
+	}
+	if resp := annotateAs(t, ts.URL, "ka2", docs[0]); resp.StatusCode != http.StatusOK {
+		readAll(t, resp)
+		t.Errorf("new key: status %d, want 200", resp.StatusCode)
+	} else {
+		readAll(t, resp)
+	}
+	// Counters survived the reload: 2 before + 1 after.
+	if st := reg.Stats(); st["alpha"].Requests != 3 {
+		t.Errorf("alpha requests = %d after reload, want 3 (counters must survive)", st["alpha"].Requests)
+	} else if _, ok := st["beta"]; !ok {
+		t.Error("beta missing after reload")
+	}
+
+	// A broken push must not take the limits down.
+	writeFile(`{"tenants": [{"name": "", "key": "nope"}]}`)
+	if _, err := reg.Reload(); err == nil {
+		t.Fatal("reload of an invalid file should fail")
+	}
+	if resp := annotateAs(t, ts.URL, "ka2", docs[0]); resp.StatusCode != http.StatusOK {
+		readAll(t, resp)
+		t.Errorf("serving table changed after failed reload: status %d", resp.StatusCode)
+	} else {
+		readAll(t, resp)
+	}
+}

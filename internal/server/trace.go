@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// Request tracing: every request gets an id — the client's X-Request-ID
+// when it sends a usable one, a fresh random id otherwise — that is
+// echoed on the response header, attached to the structured request log
+// line, embedded in every error body and threaded through the request
+// context into the annotation pipeline (aida.WithRequestID stamps it into
+// Document.Stats). A throttled, failed or slow request is therefore
+// attributable end to end from any one of its artifacts.
+
+// requestIDHeader is the trace header, accepted and echoed verbatim.
+const requestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds accepted client ids so a hostile header cannot
+// bloat logs or metrics payloads.
+const maxRequestIDLen = 128
+
+type requestIDKey struct{}
+
+// requestID returns the trace id of the request's context ("" outside the
+// traced middleware, e.g. in direct handler unit tests).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// traced is the outermost middleware: it resolves the request's trace id,
+// sets the response header immediately — so even a 401/429 short-circuit
+// from the tenant layer carries it — and stores it in the request context
+// for the log line and the annotation pipeline.
+func (s *Server) traced(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitizeRequestID(r.Header.Get(requestIDHeader))
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+	})
+}
+
+// sanitizeRequestID accepts a client-supplied id only when it is short and
+// printable ASCII; anything else ("" included) makes the server mint its
+// own. Control bytes are rejected so an id can never break a log line or
+// an exposition label.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < 0x21 || id[i] > 0x7e {
+			return ""
+		}
+	}
+	return id
+}
+
+// newRequestID mints a 16-hex-char random id. crypto/rand never fails on
+// the supported platforms; if it somehow does, Read panics, which is the
+// right call for a broken entropy source.
+func newRequestID() string {
+	var b [8]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}

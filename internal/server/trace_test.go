@@ -1,0 +1,205 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a mutex-guarded log sink: the request log line is written
+// after the handler returns, concurrently with the client reading the
+// response, so the test must not read the buffer bare.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var hexID = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+func TestRequestIDEchoedAndGenerated(t *testing.T) {
+	k, docs := testWorld(t, 1)
+	_, ts := newTestServer(t, k, Config{})
+
+	post := func(id string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest("POST", ts.URL+"/v1/annotate",
+			bytes.NewReader(mustJSON(t, annotateRequest{Text: docs[0]})))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != "" {
+			req.Header.Set(requestIDHeader, id)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	t.Run("client id echoed", func(t *testing.T) {
+		resp := post("trace-me-42")
+		readAll(t, resp)
+		if got := resp.Header.Get(requestIDHeader); got != "trace-me-42" {
+			t.Errorf("X-Request-ID = %q, want the client's id echoed", got)
+		}
+	})
+	t.Run("generated when absent", func(t *testing.T) {
+		resp := post("")
+		readAll(t, resp)
+		if got := resp.Header.Get(requestIDHeader); !hexID.MatchString(got) {
+			t.Errorf("X-Request-ID = %q, want a generated 16-hex-char id", got)
+		}
+	})
+	t.Run("unusable ids replaced", func(t *testing.T) {
+		for _, bad := range []string{"has space", "tab\tchar", strings.Repeat("x", maxRequestIDLen+1), "non-ascii-é"} {
+			resp := post(bad)
+			readAll(t, resp)
+			if got := resp.Header.Get(requestIDHeader); !hexID.MatchString(got) {
+				t.Errorf("client id %q: response id = %q, want a fresh generated id", bad, got)
+			}
+		}
+	})
+	t.Run("error body carries id", func(t *testing.T) {
+		req, err := http.NewRequest("POST", ts.URL+"/v1/annotate", strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(requestIDHeader, "err-trace-7")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.RequestID != "err-trace-7" {
+			t.Errorf("error body request_id = %q, want %q (body %s)", e.RequestID, "err-trace-7", body)
+		}
+	})
+}
+
+// TestRequestIDInLogLine is the attribution guarantee: the response's
+// X-Request-ID matches the request_id attribute of the structured log
+// line, and on a tenanted server the line also names the tenant.
+func TestRequestIDInLogLine(t *testing.T) {
+	k, docs := testWorld(t, 1)
+	reg, err := NewTenants([]TenantConfig{{Name: "alpha", Key: "ka"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs syncBuffer
+	_, ts := newTestServer(t, k, Config{
+		Tenants: reg,
+		Logger:  slog.New(slog.NewTextHandler(&logs, nil)),
+	})
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/annotate",
+		bytes.NewReader(mustJSON(t, annotateRequest{Text: docs[0]})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(requestIDHeader, "log-trace-9")
+	req.Header.Set("X-API-Key", "ka")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if got := resp.Header.Get(requestIDHeader); got != "log-trace-9" {
+		t.Fatalf("response id = %q", got)
+	}
+
+	// The log line lands after the handler returns — possibly after the
+	// client has the response — so poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out := logs.String()
+		var line string
+		for _, l := range strings.Split(out, "\n") {
+			if strings.Contains(l, "msg=request") && strings.Contains(l, "path=/v1/annotate") {
+				line = l
+				break
+			}
+		}
+		if line != "" {
+			if !strings.Contains(line, "request_id=log-trace-9") {
+				t.Fatalf("log line lacks the response's request id: %s", line)
+			}
+			if !strings.Contains(line, "tenant=alpha") {
+				t.Fatalf("log line lacks the tenant attribution: %s", line)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no request log line appeared; logs:\n%s", out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRequestIDInStats checks the deepest thread of the trace: a request
+// asking for stats gets the disambiguation counters stamped with its own
+// trace id.
+func TestRequestIDInStats(t *testing.T) {
+	k, docs := testWorld(t, 1)
+	_, ts := newTestServer(t, k, Config{})
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/annotate",
+		bytes.NewReader(mustJSON(t, annotateRequest{Text: docs[0], Stats: true})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(requestIDHeader, "stats-trace-3")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (body %s)", resp.StatusCode, body)
+	}
+	var got annotateResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats == nil {
+		t.Fatalf("response has no stats despite \"stats\": true (body %s)", body)
+	}
+	if got.Stats.RequestID != "stats-trace-3" {
+		t.Errorf("stats request_id = %q, want %q", got.Stats.RequestID, "stats-trace-3")
+	}
+	if got.Stats.Comparisons <= 0 {
+		t.Errorf("stats comparisons = %d, want > 0", got.Stats.Comparisons)
+	}
+
+	// Without the flag the field must stay absent, keeping the response
+	// bytes identical to pre-stats servers.
+	plain := postJSON(t, ts.URL+"/v1/annotate", annotateRequest{Text: docs[0]})
+	if b := readAll(t, plain); bytes.Contains(b, []byte(`"stats"`)) {
+		t.Errorf("response leaks a stats field without opting in: %s", b)
+	}
+}

@@ -281,6 +281,41 @@ func TestAnnotateOptionsPerRequest(t *testing.T) {
 	}
 }
 
+// TestWithRequestID checks the trace-id thread into Document.Stats: the
+// id rides along only with IncludeStats, and an absent id leaves the
+// field empty (so the JSON stays byte-identical for untraced callers).
+func TestWithRequestID(t *testing.T) {
+	k, docs := batchWorld(t, 1)
+	ctx := context.Background()
+	sys := New(k, WithMaxCandidates(10))
+
+	doc, err := sys.AnnotateDoc(ctx, docs[0], IncludeStats(), WithRequestID("req-42"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Stats == nil || doc.Stats.RequestID != "req-42" {
+		t.Fatalf("Stats = %+v, want RequestID %q", doc.Stats, "req-42")
+	}
+
+	plain, err := sys.AnnotateDoc(ctx, docs[0], IncludeStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats == nil || plain.Stats.RequestID != "" {
+		t.Fatalf("Stats = %+v, want empty RequestID without the option", plain.Stats)
+	}
+
+	// Without IncludeStats the id has nowhere to land and must not force
+	// the stats on.
+	bare, err := sys.AnnotateDoc(ctx, docs[0], WithRequestID("req-43"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Stats != nil {
+		t.Fatalf("WithRequestID alone materialized Stats: %+v", bare.Stats)
+	}
+}
+
 func surfacesOf(anns []Annotation) []string {
 	out := make([]string, len(anns))
 	for i, a := range anns {

@@ -3,8 +3,9 @@
 # the disambiguation core and the scoring engine: the packages the
 # sharding router, the remote fleet client/host, the scoring layers and
 # the engine persistence/eviction machinery live in — plus the live-KB
-# graduation loop — must stay above the checked-in threshold. Run from
-# the repository root:
+# graduation loop and the HTTP serving layer (content negotiation,
+# multi-tenant admission, tracing, HTML rendering) — must stay above the
+# checked-in threshold. Run from the repository root:
 #
 #   ./scripts/check_coverage.sh
 #
@@ -28,7 +29,7 @@ covered() {
     esac
 }
 
-PACKAGES="./internal/kb ./internal/kb/live ./internal/disambig ./internal/relatedness"
+PACKAGES="./internal/kb ./internal/kb/live ./internal/disambig ./internal/relatedness ./internal/server"
 
 status=0
 failed_profiles=""

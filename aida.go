@@ -72,6 +72,17 @@ type (
 	// Overlay is a copy-on-write Store: a base Store plus one applied
 	// Delta; build one with NewOverlay, or let ApplyDelta do it.
 	Overlay = kb.Overlay
+	// DomainDictionary is a named per-domain surface→entity dictionary;
+	// register one with (*System).RegisterDomain and select it per
+	// request with WithDomain.
+	DomainDictionary = kb.DomainDictionary
+	// DomainRow is one surface→entity count assertion of a
+	// DomainDictionary.
+	DomainRow = kb.DomainRow
+	// DomainLayer is a Store with one domain dictionary composed over it
+	// copy-on-write; build one with NewDomainLayer, or let RegisterDomain
+	// do it.
+	DomainLayer = kb.DomainLayer
 	// KBBuilder assembles a KB.
 	KBBuilder = kb.Builder
 	// EntityID identifies a KB entity; NoEntity marks out-of-KB.
@@ -180,6 +191,21 @@ func ShardKB(k *KB, n int) *ShardedKB { return kb.Shard(k, n) }
 // -shard-map flag of cmd/aidaserver and cmd/aida; see kb.ShardMap for the
 // JSON shape).
 func LoadShardMap(path string) (ShardMap, error) { return kb.LoadShardMap(path) }
+
+// NewDomainLayer composes a domain dictionary over a base store as a
+// copy-on-write layer (see kb.NewDomainLayer). Most callers want
+// (*System).RegisterDomain, which also clones the scoring engine and
+// makes the layer selectable with WithDomain.
+func NewDomainLayer(base Store, dict DomainDictionary) (*DomainLayer, error) {
+	return kb.NewDomainLayer(base, dict)
+}
+
+// LoadDomainDictionaries reads and validates a domain-dictionary file
+// (the -domains flag of cmd/aidaserver and cmd/aida; see
+// kb.ParseDomainDictionaries for the JSON shape).
+func LoadDomainDictionaries(path string) ([]DomainDictionary, error) {
+	return kb.LoadDomainDictionaries(path)
+}
 
 // DialFleet connects to a remote shard fleet and returns a Store the
 // pipeline runs over unchanged: it validates the topology and the fleet's
@@ -299,6 +325,12 @@ type System struct {
 	// loaded once per request. applyMu serializes appliers.
 	live    atomic.Pointer[liveKB]
 	applyMu sync.Mutex
+
+	// domains holds the registered per-domain dictionary layers, each a
+	// full (store, engine) pair selectable with WithDomain. Registration
+	// is rare; requests take the read lock once during option resolution.
+	domainsMu sync.RWMutex
+	domains   map[string]*liveKB
 }
 
 // liveKB is one immutable serving generation: the store, the engine bound
@@ -405,6 +437,56 @@ func (s *System) ApplyDelta(d *kb.Delta) (DeltaReceipt, error) {
 		Touched:    len(ov.Touched()),
 		KBEntities: ov.NumEntities(),
 	}, nil
+}
+
+// RegisterDomain composes a per-domain dictionary layer over the serving
+// KB generation and makes it selectable by name with WithDomain (and the
+// HTTP "domain" field). The layer is a copy-on-write view: dictionary rows
+// re-weight the domain's senses of their surfaces while every other read
+// passes through to the base, and the scoring engine is shared with the
+// base generation (a rows-only layer invalidates nothing). Registering a
+// name again replaces the layer; requests already routed keep the layer
+// they resolved.
+//
+// Layers bind to the serving generation at registration time: a later
+// ApplyDelta does not rebase them. Servers that apply deltas should
+// re-register their domains afterwards.
+func (s *System) RegisterDomain(dict DomainDictionary) error {
+	lv := s.live.Load()
+	layer, err := kb.NewDomainLayer(lv.store, dict)
+	if err != nil {
+		return err
+	}
+	engine := lv.engine.CloneFor(layer, layer.Touched(), layer.Added() > 0)
+	s.domainsMu.Lock()
+	defer s.domainsMu.Unlock()
+	if s.domains == nil {
+		s.domains = make(map[string]*liveKB)
+	}
+	s.domains[dict.Name] = &liveKB{store: layer, engine: engine, stats: lv.stats}
+	return nil
+}
+
+// DomainNames lists the registered domain names, sorted.
+func (s *System) DomainNames() []string {
+	s.domainsMu.RLock()
+	defer s.domainsMu.RUnlock()
+	return slices.Sorted(maps.Keys(s.domains))
+}
+
+// domainLive resolves a WithDomain selector to its registered layer.
+func (s *System) domainLive(name string) (*liveKB, error) {
+	s.domainsMu.RLock()
+	lv := s.domains[name]
+	s.domainsMu.RUnlock()
+	if lv != nil {
+		return lv, nil
+	}
+	names := s.DomainNames()
+	if len(names) == 0 {
+		return nil, invalidRequestf("unknown domain %q (no domains registered)", name)
+	}
+	return nil, invalidRequestf("unknown domain %q (available: %s)", name, strings.Join(names, ", "))
 }
 
 // Option configures a System.

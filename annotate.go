@@ -48,16 +48,11 @@ type RankedCandidate struct {
 	Score float64
 }
 
-// AnnotateOption configures one annotation request. Options apply to a
-// single AnnotateDoc/AnnotateCorpus/AnnotateStream call and never mutate
-// the System, so concurrent requests with different options are safe.
-// Request defaults come from the System (its Method, MaxCandidates and
-// ExpandSurfaces settings).
-type AnnotateOption func(*annotateOptions)
-
+// annotateOptions is a fully resolved request: the RequestSpec validated
+// against the System's defaults, with the method constructed, the context
+// model built, and the domain layer looked up.
 type annotateOptions struct {
 	method      Method
-	methodErr   error
 	maxCands    int
 	expand      bool
 	parallelism int
@@ -66,112 +61,112 @@ type annotateOptions struct {
 	confSeed    int64
 	withStats   bool
 	requestID   string
+	ctxModel    *disambig.ContextModel
+	domain      *liveKB
 }
 
-// UseMethod selects the disambiguation method for this request only
-// (default: the System's method). Methods are stateless, so any method may
-// serve concurrent requests.
-func UseMethod(m Method) AnnotateOption {
-	return func(o *annotateOptions) {
-		if m != nil {
-			o.method = m
-		}
-	}
-}
-
-// UseMethodNamed is UseMethod with the selector names of MethodByName
-// ("aida", "prior", "sim", "cuc", "kul-ci", "tagme", "iw",
-// case-insensitive; empty = "aida"). An unknown name surfaces as the
-// request's error.
-func UseMethodNamed(name string) AnnotateOption {
-	return func(o *annotateOptions) {
-		m, err := MethodByName(name)
-		if err != nil {
-			o.methodErr = err
-			return
-		}
-		o.method = m
-	}
-}
-
-// WithParallelism bounds the request's concurrency: for AnnotateCorpus and
-// AnnotateStream it is the document fan-out width, for AnnotateDoc it caps
-// the coherence-edge worker pool. n ≤ 0 means GOMAXPROCS. Parallelism
-// changes scheduling only — the annotations are byte-identical at every
-// setting.
-func WithParallelism(n int) AnnotateOption {
-	return func(o *annotateOptions) { o.parallelism = n }
-}
-
-// CapCandidates caps the candidates materialized per mention for this
-// request (n ≤ 0 removes the cap), overriding the System's MaxCandidates.
-func CapCandidates(n int) AnnotateOption {
-	return func(o *annotateOptions) { o.maxCands = n }
-}
-
-// SurfaceExpansion enables or disables the within-document coreference
-// heuristic ("Carter" → "Rubin Carter") for this request, overriding the
-// System's ExpandSurfaces setting.
-func SurfaceExpansion(on bool) AnnotateOption {
-	return func(o *annotateOptions) { o.expand = on }
-}
-
-// IncludeCandidates asks for the per-mention scored candidate lists in
-// Document.Candidates.
-func IncludeCandidates() AnnotateOption {
-	return func(o *annotateOptions) { o.withCands = true }
-}
-
-// IncludeConfidence asks for per-mention CONF confidence scores
-// (normalized weighted degree + entity perturbation, Chapter 5) in
-// Document.Confidence. iterations ≤ 0 falls back to 10; seed fixes the
-// perturbation randomness so repeated requests agree.
-func IncludeConfidence(iterations int, seed int64) AnnotateOption {
-	return func(o *annotateOptions) {
-		if iterations <= 0 {
-			iterations = 10
-		}
-		o.confIters = iterations
-		o.confSeed = seed
-	}
-}
-
-// IncludeStats asks for the disambiguation work counters (pairwise
-// comparisons, graph size) in Document.Stats.
-func IncludeStats() AnnotateOption {
-	return func(o *annotateOptions) { o.withStats = true }
-}
-
-// WithRequestID labels the request with a caller-chosen trace id,
-// reported back in Document.Stats.RequestID (together with IncludeStats;
-// the id changes no other output). The HTTP server passes its
-// X-Request-ID through here, so a slow or throttled request's work
-// counters carry the same id as its log line and response headers.
-func WithRequestID(id string) AnnotateOption {
-	return func(o *annotateOptions) { o.requestID = id }
-}
-
-// requestOptions resolves the per-request options against the System's
+// requestOptions folds the option list into one RequestSpec (catching
+// duplicate-field conflicts) and resolves it against the System's
 // defaults.
 func (s *System) requestOptions(opts []AnnotateOption) (annotateOptions, error) {
+	var spec RequestSpec
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&spec)
+		}
+	}
+	return s.resolveSpec(&spec)
+}
+
+// resolveSpec validates a merged RequestSpec and resolves every field
+// against the System's defaults. All request validation lives here — the
+// Go options path and the HTTP server's JSON path produce identical
+// errors because both end up in this one function.
+func (s *System) resolveSpec(spec *RequestSpec) (annotateOptions, error) {
 	o := annotateOptions{
 		method:   s.Method,
 		maxCands: s.MaxCandidates,
 		expand:   s.ExpandSurfaces,
 	}
-	for _, opt := range opts {
-		opt(&o)
+	if spec.err != nil {
+		return o, spec.err
 	}
-	if o.methodErr != nil {
-		return o, o.methodErr
+	switch {
+	case spec.method != nil:
+		o.method = spec.method
+	case spec.Method != "" || spec.has(fieldMethod):
+		m, err := MethodByName(spec.Method)
+		if err != nil {
+			return o, &InvalidRequestError{Err: err}
+		}
+		o.method = m
 	}
 	if o.method == nil {
 		o.method = NewAIDAMethod()
 	}
-	if o.parallelism < 0 {
-		o.parallelism = 0
+	if spec.Parallelism < 0 {
+		return o, invalidRequestf("invalid parallelism %d: must be >= 0 (0 means the default)", spec.Parallelism)
+	}
+	o.parallelism = spec.Parallelism
+	if spec.MaxCandidates != nil {
+		o.maxCands = *spec.MaxCandidates
+	}
+	if spec.Expand != nil {
+		o.expand = *spec.Expand
+	}
+	o.withCands = spec.Candidates
+	if spec.Confidence != nil {
+		o.confIters = spec.Confidence.Iterations
+		if o.confIters <= 0 {
+			o.confIters = 10
+		}
+		o.confSeed = spec.Confidence.Seed
+	}
+	o.withStats = spec.Stats
+	o.requestID = spec.RequestID
+	if c := spec.Context; c != nil {
+		if len(c.Keyphrases) > MaxContextKeyphrases {
+			return o, invalidRequestf("context too large: %d keyphrases exceed the limit of %d", len(c.Keyphrases), MaxContextKeyphrases)
+		}
+		if len(c.Entities) > MaxContextEntities {
+			return o, invalidRequestf("context too large: %d entities exceed the limit of %d", len(c.Entities), MaxContextEntities)
+		}
+		if c.Weight < 0 || c.Weight > 1 {
+			return o, invalidRequestf("invalid context weight %v: must be in [0, 1]", c.Weight)
+		}
+		if len(c.Keyphrases) > 0 || len(c.Entities) > 0 {
+			cm := &disambig.ContextModel{Weight: c.Weight}
+			for _, kp := range c.Keyphrases {
+				cm.Words = append(cm.Words, tokenizer.ContentWords(kp)...)
+			}
+			if len(c.Entities) > 0 {
+				cm.Entities = make(map[EntityID]bool, len(c.Entities))
+				for _, id := range c.Entities {
+					cm.Entities[id] = true
+				}
+			}
+			o.ctxModel = cm
+		}
+	}
+	if spec.Domain != "" {
+		lv, err := s.domainLive(spec.Domain)
+		if err != nil {
+			return o, err
+		}
+		o.domain = lv
 	}
 	return o, nil
+}
+
+// ValidateRequest resolves a request spec against the System without
+// annotating anything: nil means an equivalent AnnotateDoc call would
+// accept the request; otherwise the returned error is exactly the one the
+// annotate call would produce (an InvalidRequestError for client
+// mistakes). The HTTP server pre-validates streaming batch requests with
+// it, so a bad spec gets a clean 400 instead of failing mid-stream.
+func (s *System) ValidateRequest(spec *RequestSpec) error {
+	_, err := s.requestOptions(spec.Options())
+	return err
 }
 
 // annotateOne runs the full pipeline for one document under the resolved
@@ -202,8 +197,13 @@ func (s *System) annotateOne(ctx context.Context, text string, o annotateOptions
 	// Load the serving KB generation exactly once: recognition, candidate
 	// materialization and scoring below all run against this one (store,
 	// engine) pair, so a concurrent ApplyDelta can never hand this document
-	// a torn read — it finishes on the generation it started with.
-	lv := s.live.Load()
+	// a torn read — it finishes on the generation it started with. A
+	// request routed into a domain (WithDomain) resolved its layer during
+	// option resolution; the layer carries its own (store, engine) pair.
+	lv := o.domain
+	if lv == nil {
+		lv = s.live.Load()
+	}
 	// Tokenize once: recognition and context-word extraction share the
 	// same token stream (the context words of a document are a pure
 	// function of its tokens, so the annotations are unchanged).
@@ -222,6 +222,7 @@ func (s *System) annotateOne(ctx context.Context, text string, o annotateOptions
 	p.Scorer = lv.engine
 	p.CoherenceWorkers = coherenceWorkers
 	p.Context = ctx
+	p.ContextModel = o.ctxModel
 	out := o.method.Disambiguate(p)
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -489,7 +490,7 @@ func (s *System) Annotate(text string) []Annotation {
 //
 // Deprecated: use AnnotateDoc with WithParallelism, which is byte-identical.
 func (s *System) AnnotateBounded(text string, parallelism int) []Annotation {
-	doc, err := s.AnnotateDoc(context.Background(), text, WithParallelism(parallelism))
+	doc, err := s.AnnotateDoc(context.Background(), text, WithParallelism(max(parallelism, 0)))
 	if err != nil {
 		return nil // unreachable: background context, valid options
 	}
@@ -503,7 +504,7 @@ func (s *System) AnnotateBounded(text string, parallelism int) []Annotation {
 // Deprecated: use AnnotateCorpus with WithParallelism, which adds
 // cancellation and per-request options and is byte-identical.
 func (s *System) AnnotateBatch(docs []string, parallelism int) [][]Annotation {
-	docsOut, err := s.AnnotateCorpus(context.Background(), docs, WithParallelism(parallelism))
+	docsOut, err := s.AnnotateCorpus(context.Background(), docs, WithParallelism(max(parallelism, 0)))
 	if err != nil {
 		return nil // unreachable: background context, valid options
 	}
@@ -522,7 +523,7 @@ func (s *System) AnnotateBatch(docs []string, parallelism int) [][]Annotation {
 // annotations are byte-identical.
 func (s *System) AnnotateAll(docs iter.Seq[string], parallelism int) iter.Seq2[int, []Annotation] {
 	return func(yield func(int, []Annotation) bool) {
-		for doc, err := range s.AnnotateStream(context.Background(), docs, WithParallelism(parallelism)) {
+		for doc, err := range s.AnnotateStream(context.Background(), docs, WithParallelism(max(parallelism, 0))) {
 			if err != nil {
 				return // unreachable: background context, valid options
 			}

@@ -20,6 +20,13 @@
 // printed in input order. Annotation runs under a signal-aware context:
 // Ctrl-C cancels in-flight scoring instead of waiting for the corpus.
 //
+// With -context "phrase,phrase,..." the keyphrases are blended into
+// mention–entity scoring as a request context prior (the short-text
+// interest model; -context-weight sets the blend weight). With -domains
+// domains.json and -domain <name> annotation routes through a per-domain
+// dictionary layer composed over the KB. Without either flag the output
+// is byte-identical to builds that predate them.
+//
 // With -engine-snapshot the scoring engine is durable across invocations:
 // an existing snapshot for the same KB content is loaded before annotating
 // (warm start) and rewritten after a successful run. -engine-max-bytes
@@ -64,6 +71,10 @@ func main() {
 		maxProf  = flag.Int64("engine-max-bytes", 0, "approximate interned-profile memory budget in bytes (0 = unbounded)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
+		ctxKeys  = flag.String("context", "", "comma-separated interest keyphrases, blended into scoring as a request context prior")
+		ctxWt    = flag.Float64("context-weight", 0, "context blend weight in [0, 1] (0 = the default; only with -context)")
+		domains  = flag.String("domains", "", "path to a domain dictionaries file (JSON): named surface→entity dictionaries composed over the KB as selectable layers")
+		domain   = flag.String("domain", "", "annotate through this domain layer from -domains")
 	)
 	flag.Parse()
 
@@ -92,6 +103,21 @@ func main() {
 	sys := aida.New(store, aida.WithMethod(m), aida.WithMaxCandidates(20),
 		aida.WithMaxProfileBytes(*maxProf))
 	loadEngineSnapshot(sys, *snapshot)
+	if *domains != "" {
+		dicts, err := aida.LoadDomainDictionaries(*domains)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range dicts {
+			if err := sys.RegisterDomain(d); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	opts, err := requestOptions(*ctxKeys, *ctxWt, *domain)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *batch {
 		if *mentions != "" {
 			log.Fatal("-batch recognizes mentions automatically; drop -mentions")
@@ -100,7 +126,7 @@ func main() {
 		if len(docs) == 0 {
 			log.Fatal("no documents in batch input")
 		}
-		for doc, err := range sys.AnnotateStream(ctx, slices.Values(docs), aida.WithParallelism(*workers)) {
+		for doc, err := range sys.AnnotateStream(ctx, slices.Values(docs), append(opts, aida.WithParallelism(*workers))...) {
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -113,6 +139,9 @@ func main() {
 		return
 	}
 	if *mentions != "" {
+		if len(opts) > 0 {
+			log.Fatal("-mentions bypasses the request pipeline; drop -context/-domain")
+		}
 		surfaces := strings.Split(*mentions, ",")
 		for i := range surfaces {
 			surfaces[i] = strings.TrimSpace(surfaces[i])
@@ -124,7 +153,7 @@ func main() {
 		saveEngineSnapshot(sys, *snapshot)
 		return
 	}
-	doc, err := sys.AnnotateDoc(ctx, text)
+	doc, err := sys.AnnotateDoc(ctx, text, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -132,6 +161,31 @@ func main() {
 		printResult(a.Mention.Text, a.Label, a.Entity, a.Score)
 	}
 	saveEngineSnapshot(sys, *snapshot)
+}
+
+// requestOptions translates the -context/-context-weight/-domain flags
+// into per-request annotate options. A weight without keyphrases is a flag
+// mistake, not a request error, so it is caught here.
+func requestOptions(ctxKeys string, ctxWeight float64, domain string) ([]aida.AnnotateOption, error) {
+	var opts []aida.AnnotateOption
+	if ctxKeys != "" {
+		var phrases []string
+		for _, p := range strings.Split(ctxKeys, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				phrases = append(phrases, p)
+			}
+		}
+		opts = append(opts, aida.WithContext(phrases...))
+		if ctxWeight != 0 {
+			opts = append(opts, aida.WithContextWeight(ctxWeight))
+		}
+	} else if ctxWeight != 0 {
+		return nil, fmt.Errorf("-context-weight needs -context")
+	}
+	if domain != "" {
+		opts = append(opts, aida.WithDomain(domain))
+	}
+	return opts, nil
 }
 
 // startProfiles starts CPU profiling to cpuPath and arranges a heap

@@ -10,6 +10,7 @@
 //	aidaserver -kb kb.gob -shard-host 0/4 -addr :8081     # serve KB shard 0 of 4
 //	aidaserver -shard-map fleet.json -addr :8080          # annotate over a remote fleet
 //	aidaserver -gen 2000 -tenants tenants.json -addr :8080 # multi-tenant quotas
+//	aidaserver -gen 2000 -domains domains.json -addr :8080 # per-domain dictionary layers
 //
 // Endpoints:
 //
@@ -71,11 +72,20 @@
 // discovery, and confidently repeated discoveries graduate into the KB
 // automatically.
 //
+// Annotation requests are full aida.RequestSpec documents: besides "text"
+// and "docs" every JSON field of the spec applies per request — "method"
+// selects the disambiguation method (-method only sets the default),
+// "context" supplies an interest model (keyphrases, entity ids, blend
+// weight) blended into mention-entity scoring as a short-text context
+// prior, and "domain" routes the request through a per-domain dictionary
+// layer registered from the -domains file (a JSON array of named
+// surface→entity dictionaries, composed copy-on-write over the base KB).
+// Requests without context or domain are byte-identical to builds that
+// predate them.
+//
 // Every endpoint honors request-context cancellation: when a client
 // disconnects, in-flight scoring is aborted, the request is logged with
-// status 499 and counted in the canceled-request counter. "method"
-// optionally selects the disambiguation method per request (-method only
-// sets the default); the selectors are those of aida.MethodByName.
+// status 499 and counted in the canceled-request counter.
 //
 // The process drains in-flight requests on SIGINT/SIGTERM (-drain bounds
 // the wait). See docs/API.md for the full request/response reference.
@@ -125,6 +135,7 @@ func main() {
 		graduate  = flag.Duration("graduate", 0, "run the emerging-entity graduation loop at this interval (0 = disabled): documents with out-of-KB mentions feed discovery, repeated confident discoveries join the KB live")
 		snapEvery = flag.Duration("snapshot-every", 0, "with -engine-snapshot, additionally persist the warm engine at this interval (0 = only on shutdown and POST /v1/admin/snapshot)")
 		tenants   = flag.String("tenants", "", "path to a tenants file (JSON): per-tenant API keys, token-bucket rates and max-concurrent quotas; hot-reloaded on SIGHUP (empty = open server, no auth)")
+		domains   = flag.String("domains", "", "path to a domain dictionaries file (JSON): each named surface→entity dictionary is composed over the base KB as a per-domain layer, selectable per request via \"domain\"")
 	)
 	flag.Parse()
 
@@ -235,6 +246,24 @@ func main() {
 			os.Exit(1)
 		}
 		defer deltaJournal.Close()
+	}
+
+	if *domains != "" {
+		// Register after the journal replay: a domain layer binds to the KB
+		// generation current at registration, so replayed deltas must land
+		// first for the layers to see their entities.
+		dicts, err := aida.LoadDomainDictionaries(*domains)
+		if err != nil {
+			logger.Error("load domain dictionaries", "path", *domains, "err", err)
+			os.Exit(1)
+		}
+		for _, d := range dicts {
+			if err := sys.RegisterDomain(d); err != nil {
+				logger.Error("register domain", "domain", d.Name, "err", err)
+				os.Exit(1)
+			}
+		}
+		logger.Info("domain layers registered", "path", *domains, "domains", sys.DomainNames())
 	}
 
 	var registry *server.Tenants

@@ -163,6 +163,12 @@ func (a *AIDA) localWeights(p *Problem) (weights, sims [][]float64) {
 			}
 			w[j] *= m.Candidates[j].edgeScale()
 		}
+		// Short-text context prior: blend the request's interest model
+		// into the mention–entity weights. Nil (the default) leaves the
+		// weights — and hence every downstream byte — untouched.
+		if p.ContextModel != nil {
+			p.ContextModel.Blend(p, i, w)
+		}
 		weights[i] = w
 	}
 	return weights, sims

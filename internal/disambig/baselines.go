@@ -21,6 +21,9 @@ func (PriorOnly) Disambiguate(p *Problem) *Output {
 	for i := range p.Mentions {
 		m := &p.Mentions[i]
 		scores := priorVector(m)
+		if p.ContextModel != nil {
+			p.ContextModel.Blend(p, i, scores)
+		}
 		best := argmax(scores)
 		score := 0.0
 		if best >= 0 {

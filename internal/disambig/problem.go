@@ -79,6 +79,11 @@ type Problem struct {
 	// promptly, returning an incomplete Output the caller must discard
 	// after checking Context.Err(). Nil means never canceled.
 	Context context.Context
+	// ContextModel is the per-request interest model blended into
+	// mention–entity scoring (the short-text context prior). Nil — the
+	// default — changes nothing: output is byte-identical to a problem
+	// without the field.
+	ContextModel *ContextModel
 
 	matcher *textstat.Matcher
 }
@@ -204,6 +209,7 @@ func (p *Problem) Clone() *Problem {
 		Scorer:           p.Scorer,
 		CoherenceWorkers: p.CoherenceWorkers,
 		Context:          p.Context,
+		ContextModel:     p.ContextModel,
 		matcher:          p.matcher,
 	}
 	for i, m := range p.Mentions {

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"slices"
@@ -48,24 +49,35 @@ func appendWireAnnotations(dst []Annotation, anns []aida.Annotation) []Annotatio
 	return dst
 }
 
+// annotateRequest is the body of POST /v1/annotate: the document text plus
+// the embedded aida.RequestSpec — every per-request knob (method,
+// parallelism, candidate cap, includes, context, domain, request id)
+// decodes straight into the spec under the JSON names documented in
+// docs/API.md, with no per-field parsing in the handler. Validation
+// happens in the aida package's option resolution, so an invalid field
+// fails with exactly the error text a Go caller would see.
 type annotateRequest struct {
 	Text string `json:"text"`
-	// Method selects the disambiguation method for this request only
-	// (the selectors of aida.MethodByName; empty = the server's default
-	// method). No process restart needed to compare methods.
-	Method string `json:"method"`
-	// Parallelism caps this request's coherence-edge worker pool; 0 uses
-	// the server default, values above the server cap are clamped. It
-	// never changes the response bytes, only the scheduling.
-	Parallelism int `json:"parallelism"`
-	// Stats asks for the disambiguation work counters — stamped with the
-	// request's trace id — in a "stats" response field.
-	Stats bool `json:"stats"`
+	aida.RequestSpec
 }
 
 type annotateResponse struct {
-	Annotations []Annotation   `json:"annotations"`
-	Stats       *annotateStats `json:"stats,omitempty"`
+	Annotations []Annotation `json:"annotations"`
+	// Candidates holds, per mention, the scored candidate list (the
+	// "candidates" request field; also implied by ?format=html).
+	Candidates [][]wireCandidate `json:"candidates,omitempty"`
+	// Confidence holds the per-mention CONF confidence scores (the
+	// "confidence" request field).
+	Confidence []float64      `json:"confidence,omitempty"`
+	Stats      *annotateStats `json:"stats,omitempty"`
+}
+
+// wireCandidate is the wire form of one aida.RankedCandidate.
+type wireCandidate struct {
+	Entity aida.EntityID `json:"entity"`
+	Label  string        `json:"label"`
+	Prior  float64       `json:"prior"`
+	Score  float64       `json:"score"`
 }
 
 // annotateStats is the wire form of aida.Stats plus the trace id, so a
@@ -76,21 +88,20 @@ type annotateStats struct {
 	RequestID     string `json:"request_id,omitempty"`
 }
 
-// annotateOptions validates the per-request method and parallelism fields
-// and turns them into request options for the context-aware API. It
-// writes the 400 itself and reports ok=false when the method name is
-// unknown.
-func (s *Server) annotateOptions(w http.ResponseWriter, method string, parallelism int) ([]aida.AnnotateOption, bool) {
-	opts := []aida.AnnotateOption{aida.WithParallelism(s.clampParallelism(parallelism))}
-	if method != "" {
-		m, err := aida.MethodByName(method)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return nil, false
-		}
-		opts = append(opts, aida.UseMethod(m))
+// writeAnnotateError maps an annotation error onto the wire: request
+// mistakes (aida.InvalidRequestError — unknown method or domain, negative
+// parallelism, oversized context, conflicting options) are the client's
+// 400 with the resolution error's exact text, cancellations are accounted
+// as 499, anything else is a 500.
+func (s *Server) writeAnnotateError(w http.ResponseWriter, r *http.Request, err error) {
+	var bad *aida.InvalidRequestError
+	if errors.As(err, &bad) {
+		writeError(w, http.StatusBadRequest, bad.Error())
+		return
 	}
-	return opts, true
+	if !s.noteCanceled(w, r, err) {
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
 }
 
 func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
@@ -101,23 +112,22 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	// The parallelism clamp applies to single documents too: the
 	// coherence pool is the only intra-document fan-out, so bounding it
 	// honors the operator's MaxParallelism under concurrent requests.
-	opts, ok := s.annotateOptions(w, req.Method, req.Parallelism)
-	if !ok {
-		return
-	}
+	// Negative values pass through to resolution and fail with 400.
+	req.Parallelism = s.clampParallelism(req.Parallelism)
 	asHTML := wantsHTML(r)
 	if asHTML {
 		// The HTML span titles carry the candidate ranking.
-		opts = append(opts, aida.IncludeCandidates())
+		req.Candidates = true
 	}
 	if req.Stats {
-		opts = append(opts, aida.IncludeStats(), aida.WithRequestID(requestID(r.Context())))
+		// The work counters are stamped with the trace id the middleware
+		// assigned, overriding any body-supplied id: response headers,
+		// log line and stats must agree.
+		req.RequestID = requestID(r.Context())
 	}
-	doc, err := s.sys.AnnotateDoc(r.Context(), req.Text, opts...)
+	doc, err := s.sys.AnnotateDoc(r.Context(), req.Text, req.RequestSpec.Options()...)
 	if err != nil {
-		if !s.noteCanceled(w, r, err) {
-			writeError(w, http.StatusInternalServerError, err.Error())
-		}
+		s.writeAnnotateError(w, r, err)
 		return
 	}
 	s.documents.Add(1)
@@ -132,6 +142,17 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := annotateResponse{Annotations: wireAnnotations(doc.Annotations)}
+	if doc.Candidates != nil {
+		resp.Candidates = make([][]wireCandidate, len(doc.Candidates))
+		for i, cands := range doc.Candidates {
+			wc := make([]wireCandidate, len(cands))
+			for j, c := range cands {
+				wc[j] = wireCandidate{Entity: c.Entity, Label: c.Label, Prior: c.Prior, Score: c.Score}
+			}
+			resp.Candidates[i] = wc
+		}
+	}
+	resp.Confidence = doc.Confidence
 	if doc.Stats != nil {
 		resp.Stats = &annotateStats{
 			Comparisons:   doc.Stats.Comparisons,
@@ -142,15 +163,13 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// batchRequest is the body of POST /v1/annotate/batch: the documents plus
+// the embedded aida.RequestSpec, decoded exactly like /v1/annotate. Batch
+// responses carry annotations only, so the per-mention include fields
+// (candidates, confidence, stats) are rejected with 400.
 type batchRequest struct {
 	Docs []string `json:"docs"`
-	// Method selects the disambiguation method for this request only
-	// (empty = the server's default method).
-	Method string `json:"method"`
-	// Parallelism is the per-request worker count; 0 uses the server
-	// default, values above the server cap are clamped. It never changes
-	// the response bytes, only the scheduling.
-	Parallelism int `json:"parallelism"`
+	aida.RequestSpec
 }
 
 type batchResponse struct {
@@ -196,10 +215,20 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch of %d documents exceeds the limit of %d", len(req.Docs), s.cfg.MaxBatchDocs))
 		return
 	}
-	opts, ok := s.annotateOptions(w, req.Method, req.Parallelism)
-	if !ok {
+	if req.Candidates || req.Confidence != nil || req.Stats {
+		writeError(w, http.StatusBadRequest,
+			"batch responses carry annotations only: request candidates, confidence or stats via /v1/annotate")
 		return
 	}
+	req.Parallelism = s.clampParallelism(req.Parallelism)
+	// Pre-validate before any write: the NDJSON branch commits a 200
+	// header when the stream starts, so a bad method, domain or context
+	// must be caught here to get its proper 400.
+	if err := s.sys.ValidateRequest(&req.RequestSpec); err != nil {
+		s.writeAnnotateError(w, r, err)
+		return
+	}
+	opts := req.RequestSpec.Options()
 
 	if wantsNDJSON(r) {
 		// Stream one line per document as soon as it and its
@@ -246,9 +275,7 @@ func (s *Server) handleAnnotateBatch(w http.ResponseWriter, r *http.Request) {
 
 	docs, err := s.sys.AnnotateCorpus(r.Context(), req.Docs, opts...)
 	if err != nil {
-		if !s.noteCanceled(w, r, err) {
-			writeError(w, http.StatusInternalServerError, err.Error())
-		}
+		s.writeAnnotateError(w, r, err)
 		return
 	}
 	results := make([][]Annotation, len(docs))

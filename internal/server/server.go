@@ -328,10 +328,12 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 }
 
 // clampParallelism resolves a requested per-request parallelism against
-// the configured default and cap.
+// the configured default and cap. Negative values pass through untouched:
+// they are a client error the option resolution rejects with 400, not a
+// "use the default" request.
 func (s *Server) clampParallelism(requested int) int {
 	p := requested
-	if p <= 0 {
+	if p == 0 {
 		p = s.cfg.DefaultParallelism
 	}
 	if p > s.cfg.MaxParallelism {

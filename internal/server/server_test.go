@@ -124,7 +124,7 @@ func TestBatchByteIdenticalToSequential(t *testing.T) {
 	}
 
 	for _, parallelism := range []int{1, 4} {
-		resp := postJSON(t, ts.URL+"/v1/annotate/batch", batchRequest{Docs: docs, Parallelism: parallelism})
+		resp := postJSON(t, ts.URL+"/v1/annotate/batch", batchRequest{Docs: docs, RequestSpec: aida.RequestSpec{Parallelism: parallelism}})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("parallelism=%d: status %d", parallelism, resp.StatusCode)
 		}
@@ -153,7 +153,7 @@ func TestBatchNDJSONStreams(t *testing.T) {
 	_, ts := newTestServer(t, k, Config{})
 
 	seq := aida.New(k, aida.WithMaxCandidates(10))
-	body, _ := json.Marshal(batchRequest{Docs: docs, Parallelism: 3})
+	body, _ := json.Marshal(batchRequest{Docs: docs, RequestSpec: aida.RequestSpec{Parallelism: 3}})
 	req, _ := http.NewRequest("POST", ts.URL+"/v1/annotate/batch", bytes.NewReader(body))
 	req.Header.Set("Accept", "application/x-ndjson")
 	resp, err := http.DefaultClient.Do(req)
@@ -288,7 +288,7 @@ func TestStatsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, k, Config{})
 	// Drive traffic so every counter moves: a batch fills the MW pair
 	// cache (AIDA coherence), a KORE relatedness lookup interns profiles.
-	readAll(t, postJSON(t, ts.URL+"/v1/annotate/batch", batchRequest{Docs: docs, Parallelism: 2}))
+	readAll(t, postJSON(t, ts.URL+"/v1/annotate/batch", batchRequest{Docs: docs, RequestSpec: aida.RequestSpec{Parallelism: 2}}))
 	if r, err := http.Get(ts.URL + "/v1/relatedness?kind=KORE&a=0&b=1"); err == nil {
 		readAll(t, r)
 	}
@@ -389,7 +389,7 @@ func TestPerRequestMethod(t *testing.T) {
 	}
 	priorSys := aida.New(k, aida.WithMethod(prior), aida.WithMaxCandidates(10))
 	for _, doc := range docs {
-		resp := postJSON(t, ts.URL+"/v1/annotate", annotateRequest{Text: doc, Method: "PRIOR"})
+		resp := postJSON(t, ts.URL+"/v1/annotate", annotateRequest{Text: doc, RequestSpec: aida.RequestSpec{Method: "PRIOR"}})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("status %d", resp.StatusCode)
 		}
@@ -417,7 +417,7 @@ func TestPerRequestMethod(t *testing.T) {
 	}
 
 	// Batch accepts the same field.
-	bresp := postJSON(t, ts.URL+"/v1/annotate/batch", batchRequest{Docs: docs[:1], Method: "prior"})
+	bresp := postJSON(t, ts.URL+"/v1/annotate/batch", batchRequest{Docs: docs[:1], RequestSpec: aida.RequestSpec{Method: "prior"}})
 	var bgot struct {
 		Results []json.RawMessage `json:"results"`
 	}
@@ -429,8 +429,8 @@ func TestPerRequestMethod(t *testing.T) {
 	}
 
 	for _, body := range []any{
-		annotateRequest{Text: docs[0], Method: "bogus"},
-		batchRequest{Docs: docs[:1], Method: "bogus"},
+		annotateRequest{Text: docs[0], RequestSpec: aida.RequestSpec{Method: "bogus"}},
+		batchRequest{Docs: docs[:1], RequestSpec: aida.RequestSpec{Method: "bogus"}},
 	} {
 		url := ts.URL + "/v1/annotate"
 		if _, ok := body.(batchRequest); ok {
@@ -517,7 +517,7 @@ func TestClientDisconnectCancelsBatch(t *testing.T) {
 	for i := range big {
 		big[i] = docs[i%len(docs)]
 	}
-	body := mustJSON(t, batchRequest{Docs: big, Parallelism: 1})
+	body := mustJSON(t, batchRequest{Docs: big, RequestSpec: aida.RequestSpec{Parallelism: 1}})
 	req, err := http.NewRequest("POST", ts.URL+"/v1/annotate/batch", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
@@ -572,7 +572,7 @@ func TestConcurrentBatchRequests(t *testing.T) {
 		want[i] = expectedWire(t, seq, d)
 	}
 
-	body, err := json.Marshal(batchRequest{Docs: docs, Parallelism: 2})
+	body, err := json.Marshal(batchRequest{Docs: docs, RequestSpec: aida.RequestSpec{Parallelism: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -38,7 +38,7 @@ func TestShardedServerByteIdentical(t *testing.T) {
 	if got, want := readBody(sharded.URL+"/v1/annotate", single), readBody(plain.URL+"/v1/annotate", single); got != want {
 		t.Errorf("sharded /v1/annotate diverges:\n got %s\nwant %s", got, want)
 	}
-	batch := batchRequest{Docs: docs, Parallelism: 4}
+	batch := batchRequest{Docs: docs, RequestSpec: aida.RequestSpec{Parallelism: 4}}
 	if got, want := readBody(sharded.URL+"/v1/annotate/batch", batch), readBody(plain.URL+"/v1/annotate/batch", batch); got != want {
 		t.Errorf("sharded /v1/annotate/batch diverges:\n got %s\nwant %s", got, want)
 	}

@@ -2,6 +2,8 @@ package server
 
 import (
 	"bytes"
+
+	"aida"
 	"encoding/json"
 	"log/slog"
 	"net/http"
@@ -169,7 +171,7 @@ func TestRequestIDInStats(t *testing.T) {
 	_, ts := newTestServer(t, k, Config{})
 
 	req, err := http.NewRequest("POST", ts.URL+"/v1/annotate",
-		bytes.NewReader(mustJSON(t, annotateRequest{Text: docs[0], Stats: true})))
+		bytes.NewReader(mustJSON(t, annotateRequest{Text: docs[0], RequestSpec: aida.RequestSpec{Stats: true}})))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,11 +25,15 @@ THRESHOLD=70
 covered() {
     case "$1" in
     ./internal/kb) echo "./internal/kb ./internal/kbtest" ;;
+    # The eval harness is driven mostly from the outside: the workload
+    # gates in ./internal/eval's own test package plus the corpus
+    # generators and golden conformance suite in ./internal/kbtest.
+    ./internal/eval) echo "./internal/eval ./internal/kbtest" ;;
     *) echo "$1" ;;
     esac
 }
 
-PACKAGES="./internal/kb ./internal/kb/live ./internal/disambig ./internal/relatedness ./internal/server"
+PACKAGES="./internal/kb ./internal/kb/live ./internal/disambig ./internal/relatedness ./internal/server ./internal/eval"
 
 status=0
 failed_profiles=""
